@@ -1,0 +1,49 @@
+// Ablation: serving-stack prefill overhead vs the paper's Figure 16 GPU-time
+// ratios.
+//
+// Our timing model calibrates prefill to the paper's §2.4 measurement
+// (LLaMA-65B, 2K tokens, 360 ms on 4 A100s), i.e. an efficient kernel
+// stack. Under that physics, decoding dominates GPU time and CachedAttention's
+// GPU-time advantage is bounded near ~1.5x. The paper's reported 1.9-4.0x
+// (Fig. 16) implies that in their PyTorch/Transformers executor the
+// *recomputation prefill* is several times more expensive relative to decode.
+// This ablation sweeps a prefill overhead multiplier to show where the
+// paper's ratios emerge (LLaMA-13B and LLaMA-70B, standard workload).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/harness/harness.h"
+
+int main() {
+  using namespace ca;
+  using namespace ca::bench;
+  PrintHeader(
+      "Ablation — prefill-stack overhead vs GPU-time speedup",
+      "CA-vs-RE GPU-time speedup as a function of the prefill inefficiency multiplier "
+      "(1x = ideal kernels calibrated to the paper's 360 ms/2K-token figure).",
+      "Fig. 16's 4.0x (13B) / 3.3x (70B) ratios correspond to a ~3-5x prefill-heavy "
+      "serving stack.");
+
+  const E2EConfig config = E2EConfig::FromEnv();
+  const auto workload = BuildWorkload(config);
+
+  Table table({"model", "prefill overhead", "CA GPU (h)", "RE GPU (h)", "speedup"});
+  for (const ModelDescriptor& model :
+       {ModelDescriptor::Llama13B(), ModelDescriptor::Llama70B()}) {
+    for (const double overhead : {1.0, 2.0, 3.0, 5.0}) {
+      SimOptions ca = PaperDefaults(model);
+      ca.hw.prefill_overhead = overhead;
+      SimOptions re = ca;
+      re.mode = EngineMode::kRecompute;
+      const SimMetrics m_ca = Run(ca, workload, config.warmup_fraction);
+      const SimMetrics m_re = Run(re, workload, config.warmup_fraction);
+      const double ca_h = ToSeconds(m_ca.gpu_time()) / 3600.0;
+      const double re_h = ToSeconds(m_re.gpu_time()) / 3600.0;
+      table.AddRow({model.name, Table::Speedup(overhead, 0), Table::Num(ca_h), Table::Num(re_h),
+                    Table::Speedup(re_h / ca_h)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 1b: prefill latency grows with prompt length while per-iteration
+// decode latency stays nearly constant (LLaMA-70B, batch 8, 4 A100s).
+#include <cstdio>
+
+#include "bench/harness/harness.h"
+#include "src/sim/timing_model.h"
+
+int main() {
+  using namespace ca;
+  bench::PrintHeader(
+      "Figure 1b — prefill vs decode latency",
+      "Execution latency of the two generation phases for LLaMA-70B (batch 8, 4 A100s).",
+      "prefill latency grows roughly linearly with prompt tokens; decode latency per "
+      "iteration is nearly flat.");
+
+  const TimingModel tm(ModelDescriptor::Llama70B(), HardwareConfig::A100Node());
+  Table table({"prompt tokens", "prefill (ms)", "decode iter (ms)"});
+  for (const std::uint64_t tokens : {128ULL, 256ULL, 512ULL, 1024ULL, 2048ULL, 4096ULL}) {
+    table.AddRow({std::to_string(tokens), Table::Num(ToMilliseconds(tm.PrefillTime(tokens))),
+                  Table::Num(ToMilliseconds(tm.DecodeIterTime(8, tokens)))});
+  }
+  table.Print(std::cout);
+
+  const double growth = ToMilliseconds(tm.PrefillTime(4096)) / ToMilliseconds(tm.PrefillTime(128));
+  const double decode_growth =
+      ToMilliseconds(tm.DecodeIterTime(8, 4096)) / ToMilliseconds(tm.DecodeIterTime(8, 128));
+  std::printf("\nprefill grows %.1fx over the sweep; decode grows %.2fx (near-flat)\n\n", growth,
+              decode_growth);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 14: time to first token (TTFT), CachedAttention vs recomputation,
+// for the four evaluation models.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/harness/harness.h"
+
+int main() {
+  using namespace ca;
+  using namespace ca::bench;
+  PrintHeader("Figure 14 — time to first token",
+              "Mean TTFT of CachedAttention (CA) vs recomputation (RE) per model.",
+              "CA reduces TTFT by 85% (13B), 61% (65B), 87% (70B), 86% (Falcon-40B).");
+
+  const E2EConfig config = E2EConfig::FromEnv();
+  const char* paper[] = {"85%", "61%", "87%", "86%"};
+
+  Table table({"model", "CA TTFT (s)", "RE TTFT (s)", "reduction", "paper"});
+  int i = 0;
+  for (const ModelDescriptor& model : ModelDescriptor::EvaluationSuite()) {
+    const CaVsRe r = RunCaVsRe(model, config);
+    table.AddRow({model.name, Table::Num(r.ca.mean_ttft_s(), 3), Table::Num(r.re.mean_ttft_s(), 3),
+                  Table::Percent(Reduction(r.ca.mean_ttft_s(), r.re.mean_ttft_s())), paper[i++]});
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 15: prompt prefilling throughput, CachedAttention vs
+// recomputation. Throughput counts full prompt tokens (historical tokens
+// are "served" from the cache) per second of prefill GPU time.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/harness/harness.h"
+
+int main() {
+  using namespace ca;
+  using namespace ca::bench;
+  PrintHeader("Figure 15 — prefill throughput",
+              "Prompt-token prefilling throughput of CA vs RE per model.",
+              "CA speedups of 6.8x (13B), 2.6x (65B), 7.8x (70B), 7.2x (Falcon-40B).");
+
+  const E2EConfig config = E2EConfig::FromEnv();
+  const char* paper[] = {"6.8x", "2.6x", "7.8x", "7.2x"};
+
+  Table table({"model", "CA (tok/s)", "RE (tok/s)", "speedup", "paper"});
+  int i = 0;
+  for (const ModelDescriptor& model : ModelDescriptor::EvaluationSuite()) {
+    const CaVsRe r = RunCaVsRe(model, config);
+    table.AddRow({model.name, Table::Num(r.ca.prefill_throughput(), 0),
+                  Table::Num(r.re.prefill_throughput(), 0),
+                  Table::Speedup(r.ca.prefill_throughput() / r.re.prefill_throughput()),
+                  paper[i++]});
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 16: end-to-end GPU time to finish the workload, CachedAttention vs
+// recomputation.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/harness/harness.h"
+
+int main() {
+  using namespace ca;
+  using namespace ca::bench;
+  PrintHeader("Figure 16 — GPU time",
+              "GPU busy time (prefill + decode + save stalls) over the measured window, CA "
+              "vs RE per model.",
+              "CA speedups of 4.0x (13B), 1.9x (65B), 3.3x (70B), 3.4x (Falcon-40B).");
+
+  const E2EConfig config = E2EConfig::FromEnv();
+  const char* paper[] = {"4.0x", "1.9x", "3.3x", "3.4x"};
+
+  Table table({"model", "CA (h)", "RE (h)", "CA prefill (h)", "RE prefill (h)", "speedup",
+               "paper"});
+  int i = 0;
+  for (const ModelDescriptor& model : ModelDescriptor::EvaluationSuite()) {
+    const CaVsRe r = RunCaVsRe(model, config);
+    const double ca_h = ToSeconds(r.ca.gpu_time()) / 3600.0;
+    const double re_h = ToSeconds(r.re.gpu_time()) / 3600.0;
+    table.AddRow({model.name, Table::Num(ca_h), Table::Num(re_h),
+                  Table::Num(ToSeconds(r.ca.prefill_busy) / 3600.0),
+                  Table::Num(ToSeconds(r.re.prefill_busy) / 3600.0),
+                  Table::Speedup(re_h / ca_h), paper[i++]});
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 17: end-to-end inference cost (AWS on-demand prices: $5/h per
+// A100, $0.0088/GB/h DRAM, $0.000082/GB/h SSD), CachedAttention vs
+// recomputation.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/harness/harness.h"
+
+int main() {
+  using namespace ca;
+  using namespace ca::bench;
+  PrintHeader("Figure 17 — inference cost",
+              "Total cost (GPU time + DRAM + SSD rental) of CA vs RE per model, and the "
+              "storage share of CA's cost.",
+              "CA saves 70% (13B), 43% (65B), 66% (70B), 68% (Falcon-40B); storage is "
+              "16.4%/9.0%/9.0%/9.0% of CA's cost.");
+
+  const E2EConfig config = E2EConfig::FromEnv();
+  const char* paper_savings[] = {"70%", "43%", "66%", "68%"};
+  const char* paper_storage[] = {"16.4%", "9.0%", "9.0%", "9.0%"};
+
+  Table table({"model", "CA ($)", "RE ($)", "savings", "paper", "CA storage share",
+               "paper share"});
+  int i = 0;
+  for (const ModelDescriptor& model : ModelDescriptor::EvaluationSuite()) {
+    const CaVsRe r = RunCaVsRe(model, config);
+    table.AddRow({model.name, Table::Num(r.ca.cost.total()), Table::Num(r.re.cost.total()),
+                  Table::Percent(Reduction(r.ca.cost.total(), r.re.cost.total())),
+                  paper_savings[i], Table::Percent(r.ca.cost.storage_fraction()),
+                  paper_storage[i]});
+    ++i;
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 21: scheduler-aware eviction/fetching vs LRU and FIFO under two
+// storage configurations (128G/2T and 128G/10T), LLaMA-13B. History-only
+// policies cannot prefetch (no future knowledge), so their hits land on
+// disk; the scheduler-aware policy converts upcoming accesses to DRAM hits.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/harness/harness.h"
+#include "src/workload/arrivals.h"
+
+int main() {
+  using namespace ca;
+  using namespace ca::bench;
+  PrintHeader(
+      "Figure 21 — eviction policy comparison",
+      "Hit rates (total, DRAM, disk) and GPU time for scheduler-aware (CA) vs LRU vs FIFO "
+      "under 128G/2T and 128G/10T storage (LLaMA-13B).",
+      "128G/2T: CA beats LRU/FIFO by 27%/31% overall; 128G/10T: CA 86% vs LRU 58% / FIFO "
+      "48%, with LRU/FIFO DRAM hit rates ~0.5% and CA hits >99% in DRAM. CA GPU-time "
+      "speedup up to 2.7x.");
+
+  const E2EConfig config = E2EConfig::FromEnv();
+  // Policy choice only matters when reuse distances exceed DRAM residency;
+  // model users with long pauses between turns (3 min mean think time) so
+  // returning sessions find their KV demoted — the regime of the paper's
+  // Fig. 21 (LRU/FIFO DRAM hit rates collapse to ~0.5%).
+  // A loaded queue gives the prefetcher lead time (fetches must start
+  // before dispatch); run at 2 sessions/s.
+  ShareGptConfig workload_config;
+  workload_config.think_time_mean_s = 180.0;
+  // Capacity pressure needs the *live* session set to exceed the disk
+  // tier, which takes paper-scale session counts: use 4x the standard
+  // bench scale (9000 sessions at the default).
+  ShareGptGenerator generator(workload_config, config.seed);
+  auto workload = generator.Generate(config.sessions * 4);
+  AssignArrivals(workload, 2.0, config.seed + 1);
+
+  struct StorageSetting {
+    const char* label;
+    std::uint64_t disk;
+  };
+  const StorageSetting settings[] = {{"128G/2T", TiB(2)}, {"128G/10T", TiB(10)}};
+  const char* policies[] = {"scheduler-aware", "lru", "fifo"};
+
+  Table table({"storage", "policy", "hit rate", "DRAM hits", "disk hits", "GPU time (h)"});
+  for (const StorageSetting& setting : settings) {
+    for (const char* policy : policies) {
+      SimOptions options = PaperDefaults(ModelDescriptor::Llama13B());
+      options.store.disk_capacity = setting.disk;
+      options.store.eviction_policy = policy;
+      // Scheduler-aware fetching is part of the scheduler-aware design;
+      // LRU/FIFO have no future knowledge to prefetch with (§4.3.3).
+      options.prefetch_enabled = std::string(policy) == "scheduler-aware";
+      const SimMetrics m = Run(options, workload, config.warmup_fraction);
+      table.AddRow({setting.label, policy, Table::Percent(m.store.hit_rate()),
+                    Table::Percent(m.store.dram_hit_rate()),
+                    Table::Percent(m.store.disk_hit_rate()),
+                    Table::Num(ToSeconds(m.gpu_time()) / 3600.0)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+  return 0;
+}

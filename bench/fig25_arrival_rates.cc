@@ -1,0 +1,35 @@
+// Figure 25: impact of session arrival rates (0.5-2.0 sessions/s) on hit
+// rate, TTFT, prefill throughput and GPU time (LLaMA-13B, 128G/10T).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/harness/harness.h"
+
+int main() {
+  using namespace ca;
+  using namespace ca::bench;
+  PrintHeader(
+      "Figure 25 — session arrival rates",
+      "Hit rate, mean TTFT, prefill throughput and GPU time vs the Poisson session "
+      "arrival rate (LLaMA-13B, 128G/10T, TTL-free).",
+      "hit rate eases 82%->77% from 0.5/s to 2.0/s; TTFT 0.122s->0.154s; throughput "
+      "858K->681K tok/s; GPU time 6.25h->7.01h — arrival rate has minor impact.");
+
+  E2EConfig config = E2EConfig::FromEnv();
+
+  Table table({"arrival rate (/s)", "hit rate", "TTFT mean (s)", "TTFT p50 (s)",
+               "prefill tput (tok/s)", "GPU time (h)"});
+  for (const double rate : {0.5, 1.0, 1.5, 2.0}) {
+    config.arrival_rate = rate;
+    const auto workload = BuildWorkload(config);
+    const SimMetrics m =
+        Run(PaperDefaults(ModelDescriptor::Llama13B()), workload, config.warmup_fraction);
+    table.AddRow({Table::Num(rate, 1), Table::Percent(m.store.hit_rate()),
+                  Table::Num(m.mean_ttft_s(), 3), Table::Num(m.ttft_s.p50(), 3),
+                  Table::Num(m.prefill_throughput(), 0),
+                  Table::Num(ToSeconds(m.gpu_time()) / 3600.0)});
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+  return 0;
+}

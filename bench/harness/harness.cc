@@ -1,0 +1,85 @@
+#include "bench/harness/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/workload/arrivals.h"
+
+namespace ca::bench {
+
+namespace {
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::strtod(v, nullptr);
+}
+
+}  // namespace
+
+E2EConfig E2EConfig::FromEnv() {
+  E2EConfig config;
+  config.sessions = EnvSize("CA_BENCH_SESSIONS", config.sessions);
+  config.arrival_rate = EnvDouble("CA_BENCH_ARRIVAL_RATE", config.arrival_rate);
+  config.seed = EnvSize("CA_BENCH_SEED", config.seed);
+  return config;
+}
+
+std::vector<SessionTrace> BuildWorkload(const E2EConfig& config) {
+  ShareGptGenerator generator(ShareGptConfig{}, config.seed);
+  auto workload = generator.Generate(config.sessions);
+  AssignArrivals(workload, config.arrival_rate, config.seed + 1);
+  return workload;
+}
+
+std::size_t TotalTurns(const std::vector<SessionTrace>& workload) {
+  std::size_t turns = 0;
+  for (const auto& session : workload) {
+    turns += session.turns.size();
+  }
+  return turns;
+}
+
+SimOptions PaperDefaults(const ModelDescriptor& model) {
+  SimOptions options;
+  options.mode = EngineMode::kCachedAttention;
+  options.model = model;
+  options.store.dram_capacity = GiB(128);
+  options.store.disk_capacity = TiB(10);
+  options.store.dram_buffer = GiB(16);
+  options.store.block_bytes = MiB(16);
+  options.store.eviction_policy = "scheduler-aware";
+  return options;
+}
+
+SimMetrics Run(SimOptions options, const std::vector<SessionTrace>& workload,
+               double warmup_fraction) {
+  options.warmup_turns =
+      static_cast<std::size_t>(warmup_fraction * static_cast<double>(TotalTurns(workload)));
+  return ClusterSim(options, workload).Run();
+}
+
+CaVsRe RunCaVsRe(const ModelDescriptor& model, const E2EConfig& config) {
+  const auto workload = BuildWorkload(config);
+  CaVsRe result;
+  SimOptions ca = PaperDefaults(model);
+  result.ca = Run(ca, workload, config.warmup_fraction);
+  SimOptions re = PaperDefaults(model);
+  re.mode = EngineMode::kRecompute;
+  result.re = Run(re, workload, config.warmup_fraction);
+  return result;
+}
+
+void PrintHeader(const std::string& experiment, const std::string& description,
+                 const std::string& paper_result) {
+  std::printf("=== %s ===\n%s\nPaper reports: %s\n\n", experiment.c_str(), description.c_str(),
+              paper_result.c_str());
+}
+
+double Reduction(double a, double b) { return b == 0.0 ? 0.0 : (b - a) / b; }
+
+}  // namespace ca::bench

@@ -1,0 +1,68 @@
+// Shared harness for the figure/table reproduction benches.
+//
+// Each bench binary reproduces one table or figure from the paper
+// (DESIGN.md carries the full index). The harness centralises the common
+// pieces: the scaled ShareGPT-like workload, the paper's storage defaults
+// (128 GB DRAM + 10 TB SSD, scheduler-aware policy), CA-vs-RE comparison
+// runs, and uniform output formatting.
+//
+// Scale knobs (environment):
+//   CA_BENCH_SESSIONS      sessions per end-to-end run   (default 2250;
+//                          the paper uses 9000 — set 9000 for full scale)
+//   CA_BENCH_ARRIVAL_RATE  Poisson session arrival rate  (default 1.0/s)
+//   CA_BENCH_SEED          workload seed                 (default 42)
+#ifndef CA_BENCH_HARNESS_HARNESS_H_
+#define CA_BENCH_HARNESS_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/sim/cluster_sim.h"
+#include "src/workload/sharegpt.h"
+
+namespace ca::bench {
+
+struct E2EConfig {
+  std::size_t sessions = 2250;
+  double arrival_rate = 0.35;
+  double warmup_fraction = 0.2;
+  std::uint64_t seed = 42;
+
+  // Reads the CA_BENCH_* environment overrides.
+  static E2EConfig FromEnv();
+};
+
+// Builds the ShareGPT-like workload with Poisson arrivals.
+std::vector<SessionTrace> BuildWorkload(const E2EConfig& config);
+
+std::size_t TotalTurns(const std::vector<SessionTrace>& workload);
+
+// SimOptions matching the paper's testbed defaults for `model`:
+// 128 GiB DRAM / 10 TiB SSD AttentionStore, scheduler-aware policy with a
+// 16 GiB fetch buffer, layer-wise pre-loading, asynchronous saving.
+SimOptions PaperDefaults(const ModelDescriptor& model);
+
+// Runs one simulation with warmup_fraction of the turns as warmup.
+SimMetrics Run(SimOptions options, const std::vector<SessionTrace>& workload,
+               double warmup_fraction);
+
+struct CaVsRe {
+  SimMetrics ca;
+  SimMetrics re;
+};
+
+// Runs CachedAttention and the recomputation baseline on the same workload.
+CaVsRe RunCaVsRe(const ModelDescriptor& model, const E2EConfig& config);
+
+// Uniform bench banner: figure id, what it reproduces, what the paper
+// reports (so the output is self-describing next to EXPERIMENTS.md).
+void PrintHeader(const std::string& experiment, const std::string& description,
+                 const std::string& paper_result);
+
+// Percentage reduction a vs b: (b - a) / b.
+double Reduction(double a, double b);
+
+}  // namespace ca::bench
+
+#endif  // CA_BENCH_HARNESS_HARNESS_H_

@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// primitives of the real execution path: transformer forward, KV cache
+// serialization, AttentionStore operations and the block allocator.
+#include <benchmark/benchmark.h>
+
+#include "src/model/transformer.h"
+#include "src/store/attention_store.h"
+#include "src/store/block_allocator.h"
+
+namespace ca {
+namespace {
+
+const Transformer& BenchModel() {
+  static const Transformer* model = new Transformer(ModelConfig::Mini(), 7);
+  return *model;
+}
+
+std::vector<TokenId> BenchTokens(std::size_t n) {
+  Rng rng(3);
+  std::vector<TokenId> out(n);
+  for (auto& t : out) {
+    t = static_cast<TokenId>(rng.NextBounded(BenchModel().config().vocab_size));
+  }
+  return out;
+}
+
+void BM_TransformerPrefill(benchmark::State& state) {
+  const auto tokens = BenchTokens(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    KvCache cache = BenchModel().MakeCache(PeMode::kDecoupled);
+    benchmark::DoNotOptimize(BenchModel().Forward(tokens, cache));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TransformerPrefill)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_TransformerDecodeStep(benchmark::State& state) {
+  const auto prompt = BenchTokens(static_cast<std::size_t>(state.range(0)));
+  KvCache cache = BenchModel().MakeCache(PeMode::kDecoupled);
+  (void)BenchModel().Forward(prompt, cache);
+  const TokenId tok[] = {1};
+  for (auto _ : state) {
+    state.PauseTiming();
+    KvCache step_cache = cache.Clone();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(BenchModel().Forward(tok, step_cache));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransformerDecodeStep)->Arg(64)->Arg(192);
+
+void BM_KvCacheSerialize(benchmark::State& state) {
+  KvCache cache = BenchModel().MakeCache(PeMode::kDecoupled);
+  const auto tokens = BenchTokens(static_cast<std::size_t>(state.range(0)));
+  (void)BenchModel().Forward(tokens, cache);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Serialize());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cache.byte_size()));
+}
+BENCHMARK(BM_KvCacheSerialize)->Arg(64)->Arg(192);
+
+void BM_KvCacheDeserialize(benchmark::State& state) {
+  KvCache cache = BenchModel().MakeCache(PeMode::kDecoupled);
+  const auto tokens = BenchTokens(static_cast<std::size_t>(state.range(0)));
+  (void)BenchModel().Forward(tokens, cache);
+  const auto bytes = cache.Serialize();
+  for (auto _ : state) {
+    auto restored = KvCache::Deserialize(BenchModel().config(), bytes);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_KvCacheDeserialize)->Arg(64)->Arg(192);
+
+void BM_BlockAllocatorCycle(benchmark::State& state) {
+  BlockAllocator alloc(GiB(4), MiB(4));
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto blocks = alloc.Allocate(n);
+    alloc.Free(*blocks);
+    benchmark::DoNotOptimize(blocks);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BlockAllocatorCycle)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_StorePutAccess(benchmark::State& state) {
+  StoreConfig config;
+  config.dram_capacity = GiB(8);
+  config.disk_capacity = GiB(64);
+  config.block_bytes = MiB(4);
+  AttentionStore store(config);
+  const SchedulerHints hints;
+  SimTime now = 0;
+  SessionId next = 0;
+  for (auto _ : state) {
+    const SessionId s = next++ % 512;
+    benchmark::DoNotOptimize(store.Put(s, MiB(8), 1000, {}, ++now, hints));
+    benchmark::DoNotOptimize(store.Access(s, ++now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StorePutAccess);
+
+void BM_StorePayloadRoundTrip(benchmark::State& state) {
+  StoreConfig config;
+  config.dram_capacity = GiB(1);
+  config.disk_capacity = 0;
+  config.block_bytes = MiB(1);
+  config.real_payloads = true;
+  AttentionStore store(config);
+  const SchedulerHints hints;
+  const std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)), 0x5A);
+  SimTime now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Put(1, payload.size(), 100, payload, ++now, hints));
+    benchmark::DoNotOptimize(store.ReadPayload(1));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) * 2);
+}
+BENCHMARK(BM_StorePayloadRoundTrip)->Arg(1 << 20)->Arg(16 << 20);
+
+}  // namespace
+}  // namespace ca
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Table 2: task accuracy under the truncation schemes on the trained mini
+// LM (the substitution for MMLU/LongEval/PIQA — see DESIGN.md). The task is
+// ground-truth next-token prediction on the Markov corpus: after a long
+// history that forces overflow + truncation, the model must keep predicting
+// the modal successor of each state (the Bayes-optimal answer it learned).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/harness/harness.h"
+#include "src/model/eval.h"
+#include "src/train/trained_lm.h"
+
+namespace {
+
+using namespace ca;
+
+struct SchemeAccuracy {
+  double vs_truth = 0.0;  // top-1 accuracy against the corpus's modal successor
+  double vs_tt = 0.0;     // agreement with the TT reference prediction
+};
+
+}  // namespace
+
+int main() {
+  using namespace ca;
+  bench::PrintHeader(
+      "Table 2 — accuracy under the truncation schemes",
+      "Next-token accuracy against the corpus's Bayes-optimal answer after forced overflow "
+      "and truncation (trained mini LM), plus agreement with the TT reference.",
+      "CA ~= TT (e.g. 66.0% vs 65.9% LongEval/LLaMA-7B); NKVT collapses (12.0%).");
+
+  const TrainedLm& lm = GetTrainedLm();
+  Rng rng(777);
+  const std::size_t hist = 96;
+  const std::size_t drop = 48;
+  const int kProbes = 120;
+
+  int correct_ca = 0;
+  int correct_tt = 0;
+  int correct_nkvt = 0;
+  int agree_ca = 0;
+  int agree_nkvt = 0;
+  for (int p = 0; p < kProbes; ++p) {
+    // One on-distribution stream; the question is "what follows the last
+    // two tokens", whose Bayes answer is the modal successor.
+    const auto stream = lm.corpus.Sample(hist + 2, rng);
+    const std::vector<TokenId> history(stream.begin(), stream.begin() + hist);
+    const std::vector<TokenId> tt_hist(history.begin() + drop, history.end());
+    const std::vector<TokenId> probe(stream.begin() + hist, stream.end());
+    const TokenId truth = lm.corpus.BestNext(probe[0], probe[1]);
+
+    KvCache tt_cache = lm.model.MakeCache(PeMode::kDecoupled);
+    (void)lm.model.Forward(tt_hist, tt_cache);
+    const TokenId tt_next = PredictNext(lm.model, probe, tt_cache);
+
+    KvCache ca_cache = lm.model.MakeCache(PeMode::kDecoupled);
+    (void)lm.model.Forward(history, ca_cache);
+    ca_cache.TruncateFront(drop);
+    const TokenId ca_next = PredictNext(lm.model, probe, ca_cache);
+
+    KvCache nkvt_cache = lm.model.MakeCache(PeMode::kCoupled);
+    (void)lm.model.Forward(history, nkvt_cache);
+    nkvt_cache.TruncateFront(drop);
+    const TokenId nkvt_next = PredictNext(lm.model, probe, nkvt_cache);
+
+    correct_tt += tt_next == truth ? 1 : 0;
+    correct_ca += ca_next == truth ? 1 : 0;
+    correct_nkvt += nkvt_next == truth ? 1 : 0;
+    agree_ca += ca_next == tt_next ? 1 : 0;
+    agree_nkvt += nkvt_next == tt_next ? 1 : 0;
+  }
+
+  auto pct = [&](int n) { return Table::Percent(static_cast<double>(n) / kProbes); };
+  Table table({"scheme", "accuracy vs ground truth", "agreement with TT"});
+  table.AddRow({"CA  (KV truncation, decoupled PE)", pct(correct_ca), pct(agree_ca)});
+  table.AddRow({"TT  (token truncation + recompute)", pct(correct_tt), "100.0%"});
+  table.AddRow({"NKVT (naive KV truncation)", pct(correct_nkvt), pct(agree_nkvt)});
+  table.AddRow({"(chance)", Table::Percent(1.0 / static_cast<double>(lm.config.vocab_size)),
+                "-"});
+  table.Print(std::cout);
+  std::printf("\n");
+  return 0;
+}

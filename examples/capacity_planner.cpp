@@ -1,0 +1,84 @@
+// Capacity planner: the §4.3.6 sizing arithmetic as an operator tool.
+//
+// Given a model, an expected session arrival rate and a KV time-to-live,
+// prints the paper's capacity quantities —
+//   CCpS   = context_window x KV bytes/token      (max KV per session)
+//   DSpUT  = arrival_rate x TTL                   (distinct sessions per TTL)
+//   CCpUT  = DSpUT x CCpS                         (worst-case demand)
+// — plus the look-ahead window formulas of §3.3 for a given DRAM/disk
+// configuration, and the simulator-measured hit rate at a few RCC/CCpUT
+// ratios so the numbers are grounded, not just arithmetic.
+//
+//   ./build/examples/capacity_planner [model] [rate_per_s] [ttl_minutes]
+//   model in {13b, 65b, 70b, falcon}
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/sim/cluster_sim.h"
+#include "src/workload/arrivals.h"
+
+int main(int argc, char** argv) {
+  using namespace ca;
+  ModelDescriptor model = ModelDescriptor::Llama13B();
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "65b") == 0) {
+      model = ModelDescriptor::Llama65B();
+    } else if (std::strcmp(argv[1], "70b") == 0) {
+      model = ModelDescriptor::Llama70B();
+    } else if (std::strcmp(argv[1], "falcon") == 0) {
+      model = ModelDescriptor::Falcon40B();
+    }
+  }
+  const double rate = argc > 2 ? std::strtod(argv[2], nullptr) : 0.35;
+  const double ttl_minutes = argc > 3 ? std::strtod(argv[3], nullptr) : 60.0;
+
+  const std::uint64_t ccps =
+      static_cast<std::uint64_t>(model.context_window) * model.kv_bytes_per_token;
+  const double dsput = rate * ttl_minutes * 60.0;
+  const auto ccput = static_cast<std::uint64_t>(dsput * static_cast<double>(ccps));
+
+  std::printf("Model %s: %zu-token window, %s KV per token\n", model.name.c_str(),
+              model.context_window, FormatBytes(model.kv_bytes_per_token).c_str());
+  std::printf("  CCpS  (max KV per session)        : %s\n", FormatBytes(ccps).c_str());
+  std::printf("  DSpUT (sessions per %.0f-min TTL)  : %.0f\n", ttl_minutes, dsput);
+  std::printf("  CCpUT (worst-case cache demand)   : %s\n\n", FormatBytes(ccput).c_str());
+
+  // Look-ahead windows (§3.3) for the paper's storage configuration.
+  const std::uint64_t dram = GiB(128);
+  const std::uint64_t disk = TiB(10);
+  const std::uint64_t avg_kv = ccps / 4;  // sessions average ~1/4 of the window
+  std::printf("With 128 GiB DRAM + 10 TiB disk (avg session KV ~ %s):\n",
+              FormatBytes(avg_kv).c_str());
+  std::printf("  prefetch window  L_pw = C_mem/S_kv          : %llu jobs\n",
+              static_cast<unsigned long long>(dram / avg_kv));
+  std::printf("  eviction window  (C_mem + C_disk)/S_kv      : %llu jobs\n\n",
+              static_cast<unsigned long long>((dram + disk) / avg_kv));
+
+  std::printf("Measured hit rate vs provisioned capacity (simulated, 1000 sessions,\n"
+              "15-min mean pauses, TTL %.0f min):\n", ttl_minutes);
+  ShareGptConfig wc;
+  wc.think_time_mean_s = 900.0;
+  ShareGptGenerator gen(wc, 77);
+  auto workload = gen.Generate(1000);
+  AssignArrivals(workload, rate, 78);
+  std::size_t turns = 0;
+  for (const auto& s : workload) {
+    turns += s.turns.size();
+  }
+  for (const double ratio : {0.1, 0.25, 0.5, 1.0}) {
+    const auto capacity = static_cast<std::uint64_t>(ratio * static_cast<double>(ccput));
+    SimOptions options;
+    options.model = model;
+    options.store.ttl = FromSeconds(ttl_minutes * 60.0);
+    options.store.dram_capacity = std::min<std::uint64_t>(dram, capacity / 8);
+    options.store.dram_buffer = options.store.dram_capacity / 8;
+    options.store.disk_capacity = capacity - options.store.dram_capacity;
+    options.store.block_bytes = MiB(16);
+    options.warmup_turns = turns / 5;
+    const SimMetrics m = ClusterSim(options, workload).Run();
+    std::printf("  RCC/CCpUT %.2f (%9s): hit rate %5.1f%%\n", ratio,
+                FormatBytes(capacity).c_str(), m.store.hit_rate() * 100.0);
+  }
+  return 0;
+}

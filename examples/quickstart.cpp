@@ -1,0 +1,71 @@
+// Quickstart: serve a multi-turn conversation with CachedAttentionEngine.
+//
+// Builds a mini transformer, wraps it in the engine (AttentionStore with a
+// DRAM + disk hierarchy, decoupled-PE KV caches), and runs a three-turn
+// conversation. After turn 1 every turn reuses the session's cached KV:
+// only the new input tokens are prefilled.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/cached_attention.h"
+#include "src/model/tokenizer.h"
+#include "src/model/transformer.h"
+
+int main() {
+  using namespace ca;
+
+  // 1. A model. Mini config: 4 layers, 8 heads (GQA 4), byte-level vocab.
+  const Transformer model(ModelConfig::Mini(), /*seed=*/42);
+
+  // 2. The engine. reuse_kv=true is CachedAttention; the store gets a small
+  //    DRAM tier backed by a disk tier so you can watch spilling if you
+  //    shrink it further.
+  EngineOptions options;
+  options.reuse_kv = true;
+  options.store.dram_capacity = MiB(64);
+  options.store.disk_capacity = MiB(512);
+  options.store.block_bytes = KiB(64);
+  options.store.disk_path = "/tmp/ca_quickstart.blocks";
+  CachedAttentionEngine engine(&model, options);
+
+  // 3. A conversation session.
+  const ByteTokenizer tokenizer;
+  const SessionId session = 1;
+  const char* user_turns[] = {
+      "Hello! What is CachedAttention?",
+      "And what does AttentionStore do?",
+      "Why does truncation not invalidate the cache?",
+  };
+
+  for (const char* text : user_turns) {
+    const auto tokens = tokenizer.Encode(text);
+    const auto result = engine.Converse(session, tokens, /*max_reply_tokens=*/24);
+    if (!result.ok()) {
+      std::fprintf(stderr, "turn failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("user  > %s\n", text);
+    // The mini model is randomly initialised, so the reply bytes are
+    // gibberish — what matters here is the caching behaviour.
+    std::printf("model > (%zu tokens)\n", result->reply.size());
+    std::printf("        cache %s%s | prompt %llu tok | computed %llu | reused %llu | "
+                "prefill %.2f ms\n\n",
+                result->cache_hit ? "HIT in " : "MISS",
+                result->cache_hit ? std::string(TierName(result->hit_tier)).c_str() : "",
+                static_cast<unsigned long long>(result->prompt_tokens),
+                static_cast<unsigned long long>(result->computed_tokens),
+                static_cast<unsigned long long>(result->reused_tokens),
+                result->prefill_seconds * 1e3);
+  }
+
+  const EngineStats& stats = engine.stats();
+  std::printf("session totals: %llu turns, %.1f%% of prompt tokens served from the cache\n",
+              static_cast<unsigned long long>(stats.turns), stats.reuse_fraction() * 100.0);
+  std::printf("store: %llu lookups, %llu hits (%llu DRAM / %llu disk)\n",
+              static_cast<unsigned long long>(engine.store().stats().lookups),
+              static_cast<unsigned long long>(engine.store().stats().hits()),
+              static_cast<unsigned long long>(engine.store().stats().dram_hits),
+              static_cast<unsigned long long>(engine.store().stats().disk_hits));
+  return 0;
+}

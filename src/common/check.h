@@ -1,0 +1,64 @@
+// CA_CHECK family: invariant assertions that abort with a diagnostic.
+// These are always on (including release builds); invariant violations in a
+// caching system silently corrupt data, so we pay the branch.
+#ifndef CA_COMMON_CHECK_H_
+#define CA_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace ca::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& extra) {
+  std::cerr << "CA_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!extra.empty()) {
+    std::cerr << " (" << extra << ")";
+  }
+  std::cerr << std::endl;
+  std::abort();
+}
+
+// Stream sink used by CA_CHECK to collect an optional trailing message.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ca::internal
+
+#define CA_CHECK(cond)                                                       \
+  if (cond) {                                                                \
+  } else /* NOLINT */                                                        \
+    ::ca::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define CA_CHECK_EQ(a, b) CA_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define CA_CHECK_NE(a, b) CA_CHECK((a) != (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define CA_CHECK_LT(a, b) CA_CHECK((a) < (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define CA_CHECK_LE(a, b) CA_CHECK((a) <= (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define CA_CHECK_GT(a, b) CA_CHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define CA_CHECK_GE(a, b) CA_CHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+
+#define CA_CHECK_OK(expr)                                         \
+  do {                                                            \
+    const ::ca::Status ca_check_status_ = (expr);                 \
+    CA_CHECK(ca_check_status_.ok()) << ca_check_status_;          \
+  } while (false)
+
+#endif  // CA_COMMON_CHECK_H_

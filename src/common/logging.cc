@@ -1,0 +1,40 @@
+#include "src/common/logging.h"
+
+#include <iostream>
+
+namespace ca {
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, std::string_view file, int line, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(min_level_)) {
+    return;
+  }
+  // Strip directories for readability.
+  const std::size_t slash = file.rfind('/');
+  if (slash != std::string_view::npos) {
+    file.remove_prefix(slash + 1);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::cerr << "[" << LogLevelName(level) << " " << file << ":" << line << "] " << message
+            << std::endl;
+}
+
+}  // namespace ca

@@ -1,0 +1,60 @@
+// Minimal leveled logger. Thread-safe at line granularity.
+//
+// Usage: CA_LOG(Info) << "fetched " << n << " blocks";
+// Level is filtered by Logger::set_min_level (default Info); tests and
+// benches lower it to Warn to keep output clean.
+#ifndef CA_COMMON_LOGGING_H_
+#define CA_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace ca {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+std::string_view LogLevelName(LogLevel level);
+
+class Logger {
+ public:
+  static Logger& Get();
+
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  void Write(LogLevel level, std::string_view file, int line, std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel min_level_ = LogLevel::kInfo;
+  std::mutex mutex_;
+};
+
+namespace internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { Logger::Get().Write(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ca
+
+#define CA_LOG(level) ::ca::internal::LogLine(::ca::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // CA_COMMON_LOGGING_H_

@@ -1,0 +1,86 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every stochastic component (workload generator, arrival process, model
+// weight init) takes an explicit Rng so experiments are reproducible and
+// independent streams can be derived per component via Fork().
+#ifndef CA_COMMON_RNG_H_
+#define CA_COMMON_RNG_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace ca {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(NextU64() >> 40) * 0x1.0p-24f; }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    // Lemire's nearly-divisionless method would be overkill; modulo bias is
+    // negligible for our bounds (<< 2^32).
+    return NextU64() % bound;
+  }
+
+  // Uniform integer in [lo, hi].
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(NextBounded(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Standard normal via Box-Muller.
+  double NextGaussian() {
+    const double u1 = 1.0 - NextDouble();  // avoid log(0)
+    const double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  // Exponential with the given rate (mean 1/rate).
+  double NextExponential(double rate) {
+    const double u = 1.0 - NextDouble();
+    return -std::log(u) / rate;
+  }
+
+  // Bernoulli trial.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  // Derives an independent child stream.
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace ca
+
+#endif  // CA_COMMON_RNG_H_

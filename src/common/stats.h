@@ -1,0 +1,91 @@
+// Streaming statistics and fixed-bucket histograms used by the metrics
+// pipeline and the benchmark harness.
+#ifndef CA_COMMON_STATS_H_
+#define CA_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ca {
+
+// Welford running mean/variance plus min/max/sum.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  void Merge(const RunningStat& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Reservoir of samples with exact quantiles. Keeps everything; the workloads
+// in this repo produce at most a few hundred thousand samples per metric.
+class Samples {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return values_.size(); }
+  double mean() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  // q in [0, 1]; linear interpolation between order statistics.
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Fixed-width bucket histogram over [lo, hi); out-of-range values clamp to
+// the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  // Fraction of samples with value < x (bucket resolution).
+  double CdfAt(double x) const;
+
+  std::string ToAsciiArt(std::size_t max_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ca
+
+#endif  // CA_COMMON_STATS_H_

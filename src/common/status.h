@@ -1,0 +1,127 @@
+// Lightweight Status / Result error-handling types.
+//
+// Fallible APIs in this codebase return ca::Status (no payload) or
+// ca::Result<T> (payload or error). Invariant violations use CA_CHECK
+// (see check.h) and abort; Status is reserved for errors a caller can
+// plausibly handle (capacity exhausted, missing session, I/O failure).
+#ifndef CA_COMMON_STATUS_H_
+#define CA_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ca {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnavailable,
+  kInternal,
+  kIoError,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors mirroring absl::*Error.
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status InvalidArgumentError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+Status IoError(std::string message);
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(data_);
+  }
+
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace ca
+
+// Propagates a non-OK status to the caller.
+#define CA_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::ca::Status ca_status_tmp_ = (expr);         \
+    if (!ca_status_tmp_.ok()) {                   \
+      return ca_status_tmp_;                      \
+    }                                             \
+  } while (false)
+
+#define CA_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define CA_INTERNAL_CONCAT(a, b) CA_INTERNAL_CONCAT_IMPL(a, b)
+
+// Assigns the value of a Result<T> expression or propagates its error.
+#define CA_ASSIGN_OR_RETURN(lhs, expr) \
+  CA_ASSIGN_OR_RETURN_IMPL(CA_INTERNAL_CONCAT(ca_result_tmp_, __LINE__), lhs, expr)
+
+#define CA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) {                               \
+    return tmp.status();                         \
+  }                                              \
+  lhs = std::move(tmp).value()
+
+#endif  // CA_COMMON_STATUS_H_

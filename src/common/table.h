@@ -1,0 +1,37 @@
+// ASCII table printer used by the benchmark harness to emit the rows of each
+// paper table/figure in a uniform, diffable format.
+#ifndef CA_COMMON_TABLE_H_
+#define CA_COMMON_TABLE_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ca {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience formatting helpers.
+  static std::string Num(double v, int precision = 2);
+  static std::string Percent(double fraction, int precision = 1);  // 0.85 -> "85.0%"
+  static std::string Speedup(double x, int precision = 1);         // 6.8 -> "6.8x"
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+  // Comma-separated dump (for plotting scripts).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ca
+
+#endif  // CA_COMMON_TABLE_H_

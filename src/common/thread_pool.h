@@ -1,0 +1,48 @@
+// Fixed-size worker pool. Used by the real-execution path for the
+// asynchronous KV-cache save stream and the disk I/O threads (the paper's
+// "separate IO threads migrate data between the host memory and the disks").
+#ifndef CA_COMMON_THREAD_POOL_H_
+#define CA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ca {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void Wait();
+
+  std::size_t num_threads() const { return threads_.size(); }
+  std::size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace ca
+
+#endif  // CA_COMMON_THREAD_POOL_H_

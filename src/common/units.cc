@@ -1,0 +1,44 @@
+#include "src/common/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace ca {
+
+std::string FormatBytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t idx = 0;
+  while (value >= 1024.0 && idx + 1 < kSuffix.size()) {
+    value /= 1024.0;
+    ++idx;
+  }
+  char buf[32];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, kSuffix[idx]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kSuffix[idx]);
+  }
+  return buf;
+}
+
+std::string FormatDuration(SimTime t) {
+  char buf[32];
+  const double abs_t = static_cast<double>(t < 0 ? -t : t);
+  if (abs_t < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%ld ns", static_cast<long>(t));
+  } else if (abs_t < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", static_cast<double>(t) / kMicrosecond);
+  } else if (abs_t < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", static_cast<double>(t) / kMillisecond);
+  } else if (abs_t < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", static_cast<double>(t) / kSecond);
+  } else if (abs_t < kHour) {
+    std::snprintf(buf, sizeof(buf), "%.2f min", static_cast<double>(t) / kMinute);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f h", static_cast<double>(t) / kHour);
+  }
+  return buf;
+}
+
+}  // namespace ca

@@ -1,0 +1,53 @@
+// Byte and time units. The simulator uses an integer nanosecond clock
+// (SimTime) and double seconds only at presentation boundaries.
+#ifndef CA_COMMON_UNITS_H_
+#define CA_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ca {
+
+// --- Bytes -----------------------------------------------------------------
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ULL * kGiB;
+
+constexpr std::uint64_t KiB(std::uint64_t n) { return n * kKiB; }
+constexpr std::uint64_t MiB(std::uint64_t n) { return n * kMiB; }
+constexpr std::uint64_t GiB(std::uint64_t n) { return n * kGiB; }
+constexpr std::uint64_t TiB(std::uint64_t n) { return n * kTiB; }
+
+// Human-readable byte count, e.g. "2.5 GiB".
+std::string FormatBytes(std::uint64_t bytes);
+
+// --- Time ------------------------------------------------------------------
+
+// Simulation timestamps and durations, in integer nanoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+constexpr double ToMilliseconds(SimTime t) { return static_cast<double>(t) / kMillisecond; }
+constexpr SimTime FromSeconds(double s) { return static_cast<SimTime>(s * kSecond); }
+constexpr SimTime FromMilliseconds(double ms) { return static_cast<SimTime>(ms * kMillisecond); }
+
+// Human-readable duration, e.g. "361.2 ms".
+std::string FormatDuration(SimTime t);
+
+// Duration of transferring `bytes` at `bytes_per_second`.
+constexpr SimTime TransferTime(std::uint64_t bytes, double bytes_per_second) {
+  return static_cast<SimTime>(static_cast<double>(bytes) / bytes_per_second * kSecond);
+}
+
+}  // namespace ca
+
+#endif  // CA_COMMON_UNITS_H_

@@ -1,0 +1,337 @@
+#include "src/core/cached_attention.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace ca {
+
+namespace {
+
+// Wall-clock timestamp in SimTime units (ns) for TTL / recency bookkeeping
+// on the real path.
+SimTime WallNow() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+CachedAttentionEngine::CachedAttentionEngine(const Transformer* model, EngineOptions options)
+    : model_(model), options_(std::move(options)), store_([this] {
+        StoreConfig c = options_.store;
+        c.real_payloads = true;
+        return c;
+      }()) {
+  CA_CHECK(model_ != nullptr);
+  if (options_.async_save) {
+    write_stream_ = std::make_unique<ThreadPool>(1);
+  }
+}
+
+CachedAttentionEngine::~CachedAttentionEngine() { Flush(); }
+
+void CachedAttentionEngine::Flush() {
+  if (write_stream_ != nullptr) {
+    write_stream_->Wait();
+  }
+}
+
+void CachedAttentionEngine::SetQueueHint(std::vector<SessionId> upcoming) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_hint_ = std::move(upcoming);
+}
+
+SchedulerHints CachedAttentionEngine::CurrentHintsLocked() const {
+  SchedulerHints hints;
+  for (std::size_t i = 0; i < queue_hint_.size(); ++i) {
+    hints.next_use_index.emplace(queue_hint_[i], i);
+  }
+  return hints;
+}
+
+void CachedAttentionEngine::WaitForPendingSave(SessionId session) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  save_done_.wait(lock, [&] { return pending_saves_.count(session) == 0; });
+}
+
+std::vector<TokenId> CachedAttentionEngine::SessionHistory(SessionId session) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() ? std::vector<TokenId>{} : it->second.history;
+}
+
+void CachedAttentionEngine::EndSession(SessionId session) {
+  WaitForPendingSave(session);
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.erase(session);
+  store_.Remove(session);
+}
+
+Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& state,
+                                           std::size_t incoming_tokens, KvCache& cache,
+                                           TurnResult& result) {
+  const std::size_t window = model_->config().context_window;
+  if (incoming_tokens >= window) {
+    return InvalidArgumentError("turn input (" + std::to_string(incoming_tokens) +
+                                " tokens) does not fit the context window");
+  }
+
+  // --- context-window management (§3.4) -------------------------------
+  std::size_t drop = 0;
+  if (state.history.size() + incoming_tokens > window) {
+    result.truncated = true;
+    // Drop the configured fraction of the window, or more if the new input
+    // still would not fit.
+    drop = static_cast<std::size_t>(options_.truncation_ratio * static_cast<double>(window));
+    const std::size_t overflow = state.history.size() + incoming_tokens - window;
+    drop = std::min(std::max(drop, overflow), state.history.size());
+  }
+
+  const std::size_t pre_drop_history = state.history.size();
+  bool recompute = !options_.reuse_kv;
+  bool cache_loaded = false;
+
+  if (options_.reuse_kv) {
+    if (result.truncated && options_.overflow_policy == OverflowPolicy::kInvalidate) {
+      WaitForPendingSave(session);
+      std::lock_guard<std::mutex> lock(mutex_);
+      store_.Remove(session);
+    }
+    if (result.truncated && options_.overflow_policy == OverflowPolicy::kTokenTruncate) {
+      // TT: truncation operates on token text; the stored KV (embedded at
+      // old positions in a conventional engine) is unusable — recompute.
+      recompute = true;
+    } else {
+      WaitForPendingSave(session);
+      std::optional<KvRecordInfo> info;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        info = store_.Access(session, WallNow());
+      }
+      if (info.has_value()) {
+        std::vector<std::uint8_t> payload;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          auto read = store_.ReadPayload(session);
+          if (!read.ok()) {
+            return read.status();
+          }
+          payload = std::move(*read);
+        }
+        auto loaded = KvCache::Deserialize(model_->config(), payload);
+        if (!loaded.ok()) {
+          return loaded.status();
+        }
+        if (loaded->seq_len() != pre_drop_history) {
+          CA_LOG(Warn) << "session " << session << " cache holds " << loaded->seq_len()
+                       << " tokens, history is " << pre_drop_history << "; recomputing";
+          recompute = true;
+        } else {
+          cache = std::move(*loaded);
+          // KV cache truncation (valid for decoupled PE; deliberately
+          // corrupting for the coupled-PE NKVT baseline).
+          if (drop > 0) {
+            cache.TruncateFront(drop);
+          }
+          cache_loaded = true;
+          result.cache_hit = true;
+          result.hit_tier = info->tier;
+        }
+      } else {
+        recompute = true;
+      }
+    }
+  }
+
+  if (drop > 0) {
+    state.history.erase(state.history.begin(),
+                        state.history.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+
+  if (cache_loaded) {
+    result.reused_tokens = cache.seq_len();
+    return Status::Ok();
+  }
+
+  // Miss / recompute path: rebuild the history KV from the token text.
+  (void)recompute;
+  CA_CHECK_EQ(cache.seq_len(), 0U);
+  if (!state.history.empty()) {
+    (void)model_->Forward(state.history, cache);
+    result.computed_tokens += state.history.size();
+  }
+  return Status::Ok();
+}
+
+Result<Tensor> CachedAttentionEngine::ForwardTurn(SessionId session,
+                                                  std::span<const TokenId> tokens) {
+  CA_CHECK(!tokens.empty());
+  SessionState& state = sessions_[session];
+  TurnResult result;
+  const auto start = std::chrono::steady_clock::now();
+
+  KvCache cache = model_->MakeCache(pe_mode());
+  CA_RETURN_IF_ERROR(PrepareCache(session, state, tokens.size(), cache, result));
+
+  Tensor logits = model_->Forward(tokens, cache);
+  result.computed_tokens += tokens.size();
+  result.prompt_tokens = state.history.size() + tokens.size();
+  result.prefill_seconds = SecondsSince(start);
+
+  state.history.insert(state.history.end(), tokens.begin(), tokens.end());
+  if (options_.reuse_kv) {
+    SaveCache(session, cache);
+  }
+
+  stats_.turns += 1;
+  stats_.prompt_tokens += result.prompt_tokens;
+  stats_.computed_tokens += result.computed_tokens;
+  stats_.reused_tokens += result.reused_tokens;
+  stats_.truncations += result.truncated ? 1 : 0;
+  stats_.prefill_seconds += result.prefill_seconds;
+  return logits;
+}
+
+Result<TurnResult> CachedAttentionEngine::Converse(SessionId session,
+                                                   std::span<const TokenId> user_tokens,
+                                                   std::size_t max_reply_tokens) {
+  CA_CHECK(!user_tokens.empty());
+  SessionState& state = sessions_[session];
+  TurnResult result;
+  const auto start = std::chrono::steady_clock::now();
+
+  KvCache cache = model_->MakeCache(pe_mode());
+  CA_RETURN_IF_ERROR(PrepareCache(session, state, user_tokens.size(), cache, result));
+
+  // Importance scoring for the kImportance compression policy accumulates
+  // the attention mass every cached token receives during this turn.
+  AttentionMassAccumulator mass;
+  AttentionObserver* observer =
+      options_.compression.policy == CompressionPolicy::kImportance ? &mass : nullptr;
+
+  // Prefill only the new input; the history is already in the cache.
+  Tensor logits = model_->Forward(user_tokens, cache, observer);
+  result.computed_tokens += user_tokens.size();
+  result.prompt_tokens = state.history.size() + user_tokens.size();
+  result.prefill_seconds = SecondsSince(start);
+
+  // Greedy decode, capped by the remaining window.
+  const std::size_t window = model_->config().context_window;
+  const std::size_t room = window - cache.seq_len();
+  const std::size_t budget = std::min(max_reply_tokens, room);
+  TokenId next = model_->Argmax(logits, logits.dim(0) - 1);
+  for (std::size_t i = 0; i < budget; ++i) {
+    result.reply.push_back(next);
+    if (i + 1 == budget) {
+      break;  // last token needs no further forward
+    }
+    const TokenId tok[] = {next};
+    const Tensor step = model_->Forward(tok, cache, observer);
+    next = model_->Argmax(step, 0);
+  }
+
+  // The reply's final token was sampled but (deliberately) not forwarded, so
+  // the cache covers history + input + reply[0..n-2]. Forward it now so the
+  // saved KV matches the full visible history.
+  if (!result.reply.empty() && cache.seq_len() < window) {
+    const TokenId tok[] = {result.reply.back()};
+    (void)model_->Forward(tok, cache, observer);
+  } else if (!result.reply.empty()) {
+    // No room to embed the last reply token; drop it from the visible
+    // history so text and KV stay aligned.
+    result.reply.pop_back();
+  }
+
+  state.history.insert(state.history.end(), user_tokens.begin(), user_tokens.end());
+  state.history.insert(state.history.end(), result.reply.begin(), result.reply.end());
+  CA_CHECK_EQ(state.history.size(), cache.seq_len());
+
+  if (options_.reuse_kv) {
+    result.compressed_tokens = MaybeCompress(state, cache, mass.mass());
+    SaveCache(session, cache);
+  }
+
+  stats_.turns += 1;
+  stats_.prompt_tokens += result.prompt_tokens;
+  stats_.computed_tokens += result.computed_tokens;
+  stats_.reused_tokens += result.reused_tokens;
+  stats_.truncations += result.truncated ? 1 : 0;
+  stats_.compressed_tokens += result.compressed_tokens;
+  stats_.prefill_seconds += result.prefill_seconds;
+  return result;
+}
+
+std::size_t CachedAttentionEngine::MaybeCompress(SessionState& state, KvCache& cache,
+                                                 std::span<const float> importance) {
+  if (options_.compression.policy == CompressionPolicy::kNone ||
+      cache.pe_mode() != PeMode::kDecoupled) {
+    return 0;
+  }
+  const auto discard =
+      BuildTokenDiscardList(options_.compression, cache.seq_len(), importance);
+  if (discard.empty()) {
+    return 0;
+  }
+  cache.DiscardTokens(discard);
+  // Keep the visible token history aligned with the cache: drop the same
+  // positions (discard indices are strictly increasing).
+  std::vector<TokenId> kept;
+  kept.reserve(state.history.size() - discard.size());
+  std::size_t next_discard = 0;
+  for (std::size_t i = 0; i < state.history.size(); ++i) {
+    if (next_discard < discard.size() && discard[next_discard] == i) {
+      ++next_discard;
+      continue;
+    }
+    kept.push_back(state.history[i]);
+  }
+  state.history = std::move(kept);
+  CA_CHECK_EQ(state.history.size(), cache.seq_len());
+  return discard.size();
+}
+
+void CachedAttentionEngine::SaveCache(SessionId session, const KvCache& cache) {
+  if (cache.seq_len() == 0) {
+    return;
+  }
+  // Serialize now: the cache buffer is only valid during this turn.
+  std::vector<std::uint8_t> payload = cache.Serialize();
+  const std::uint64_t tokens = cache.seq_len();
+  auto do_put = [this, session, tokens](const std::vector<std::uint8_t>& bytes) {
+    const SchedulerHints hints = CurrentHintsLocked();
+    const Status s = store_.Put(session, bytes.size(), tokens, bytes, WallNow(), hints);
+    if (!s.ok()) {
+      CA_LOG(Debug) << "KV save for session " << session << " dropped: " << s;
+    }
+  };
+  if (write_stream_ == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    do_put(payload);
+    return;
+  }
+  // Asynchronous write stream (§3.2.2): the save overlaps the caller's next
+  // work; readers of this session block in WaitForPendingSave until it
+  // lands.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_saves_.insert(session);
+  }
+  write_stream_->Submit([this, session, do_put, payload = std::move(payload)] {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      do_put(payload);
+      pending_saves_.erase(session);
+    }
+    save_done_.notify_all();
+  });
+}
+
+}  // namespace ca

@@ -1,0 +1,179 @@
+// CachedAttentionEngine: the paper's attention mechanism on the real
+// (CPU) execution path.
+//
+// A conversation session is served turn by turn. At each turn the engine
+//   1. applies context-window management (§3.4): on overflow it truncates
+//      either the token text (TT / recompute baselines) or the KV cache
+//      directly (valid under decoupled PE; deliberately corrupting under
+//      coupled PE — the NKVT baseline; or invalidating the cache entirely —
+//      the OF baseline);
+//   2. looks the session's KV cache up in AttentionStore and, on a hit,
+//      prefills only the new tokens (CachedAttention) — on a miss or in
+//      recompute mode it prefills the whole history;
+//   3. decodes a reply, then saves the session's KV cache back to
+//      AttentionStore (synchronously or on the asynchronous write stream).
+//
+// All baselines of §4.3.5 are expressible through EngineOptions, which is
+// what the Table-1/2 fidelity benches rely on.
+#ifndef CA_CORE_CACHED_ATTENTION_H_
+#define CA_CORE_CACHED_ATTENTION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/model/compression.h"
+#include "src/model/kv_cache.h"
+#include "src/model/transformer.h"
+#include "src/store/attention_store.h"
+
+namespace ca {
+
+// What happens to a session's saved KV cache when the context window
+// overflows.
+enum class OverflowPolicy {
+  // Truncate the token text and recompute from scratch (the paper's TT and
+  // the RE baseline's behaviour).
+  kTokenTruncate,
+  // Truncate the KV cache directly; valid only with decoupled PE (§3.4).
+  kKvTruncate,
+  // Truncate a *coupled*-PE KV cache directly: positions scramble. This is
+  // the NKVT baseline of §4.3.5 and exists to reproduce its failure.
+  kNaiveKvTruncate,
+  // Invalidate the saved cache and recompute (the OF baseline of §4.3.4).
+  kInvalidate,
+};
+
+struct EngineOptions {
+  // Reuse KV caches across turns (CachedAttention). False = recompute (RE).
+  bool reuse_kv = true;
+  OverflowPolicy overflow_policy = OverflowPolicy::kKvTruncate;
+  // Fraction of the context window dropped on overflow (paper: 0.5).
+  double truncation_ratio = 0.5;
+  // AttentionStore configuration; real_payloads is forced on.
+  StoreConfig store;
+  // Save KV caches on a background write stream (§3.2.2's async saving).
+  bool async_save = false;
+  // KV cache compression (token-discarding list, §3.4 end). Applied to the
+  // session cache at the end of each turn; requires decoupled PE. The
+  // kImportance policy scores tokens by the attention mass they received
+  // during the current turn.
+  CompressionConfig compression;
+};
+
+// Per-turn outcome and accounting.
+struct TurnResult {
+  std::vector<TokenId> reply;
+  std::uint64_t prompt_tokens = 0;    // history + new input
+  std::uint64_t computed_tokens = 0;  // prompt tokens actually prefilled
+  std::uint64_t reused_tokens = 0;    // prompt tokens served from the cache
+  std::uint64_t compressed_tokens = 0;  // tokens discarded by the TDL policy
+  bool cache_hit = false;
+  Tier hit_tier = Tier::kNone;
+  bool truncated = false;
+  double prefill_seconds = 0.0;       // wall-clock prefill (TTFT proxy)
+};
+
+// Cumulative engine statistics.
+struct EngineStats {
+  std::uint64_t turns = 0;
+  std::uint64_t prompt_tokens = 0;
+  std::uint64_t computed_tokens = 0;
+  std::uint64_t reused_tokens = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t compressed_tokens = 0;
+  double prefill_seconds = 0.0;
+
+  double reuse_fraction() const {
+    return prompt_tokens == 0
+               ? 0.0
+               : static_cast<double>(reused_tokens) / static_cast<double>(prompt_tokens);
+  }
+};
+
+class CachedAttentionEngine {
+ public:
+  // `model` must outlive the engine.
+  CachedAttentionEngine(const Transformer* model, EngineOptions options);
+  ~CachedAttentionEngine();
+
+  CachedAttentionEngine(const CachedAttentionEngine&) = delete;
+  CachedAttentionEngine& operator=(const CachedAttentionEngine&) = delete;
+
+  const Transformer& model() const { return *model_; }
+  const EngineOptions& options() const { return options_; }
+  const EngineStats& stats() const { return stats_; }
+  const AttentionStore& store() const { return store_; }
+
+  // Serves one conversation turn: appends `user_tokens`, decodes up to
+  // `max_reply_tokens` greedily, persists the KV cache for the next turn.
+  Result<TurnResult> Converse(SessionId session, std::span<const TokenId> user_tokens,
+                              std::size_t max_reply_tokens);
+
+  // Lower-level variant used by the fidelity experiments: runs the prefill
+  // for `tokens` (history reuse rules apply) and returns the logits of all
+  // new positions. Advances the session without decoding a reply.
+  Result<Tensor> ForwardTurn(SessionId session, std::span<const TokenId> tokens);
+
+  // Applications that maintain a job queue can feed it here so the
+  // scheduler-aware policy and prefetcher see future accesses.
+  void SetQueueHint(std::vector<SessionId> upcoming);
+
+  // Waits for all asynchronous saves to land.
+  void Flush();
+
+  // Current full token history of a session (post-truncation).
+  std::vector<TokenId> SessionHistory(SessionId session) const;
+
+  // Drops a session's state (and stored KV).
+  void EndSession(SessionId session);
+
+ private:
+  struct SessionState {
+    std::vector<TokenId> history;  // token text, already truncation-clamped
+  };
+
+  // Prepares the KV cache for a turn: handles overflow, loads from the
+  // store or recomputes. On return `cache` holds exactly the history
+  // prefix; `result` has hit/truncation accounting filled in.
+  Status PrepareCache(SessionId session, SessionState& state, std::size_t incoming_tokens,
+                      KvCache& cache, TurnResult& result);
+
+  // Applies the configured TDL compression to the cache and the session's
+  // visible history. Returns the number of discarded tokens.
+  std::size_t MaybeCompress(SessionState& state, KvCache& cache,
+                            std::span<const float> importance);
+
+  void SaveCache(SessionId session, const KvCache& cache);
+  void WaitForPendingSave(SessionId session);
+  SchedulerHints CurrentHintsLocked() const;
+  PeMode pe_mode() const {
+    return options_.overflow_policy == OverflowPolicy::kNaiveKvTruncate ? PeMode::kCoupled
+                                                                        : PeMode::kDecoupled;
+  }
+
+  const Transformer* model_;
+  EngineOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable save_done_;
+  AttentionStore store_;
+  std::unordered_map<SessionId, SessionState> sessions_;
+  std::unordered_set<SessionId> pending_saves_;
+  std::vector<SessionId> queue_hint_;
+  std::unique_ptr<ThreadPool> write_stream_;  // non-null iff async_save
+
+  EngineStats stats_;
+};
+
+}  // namespace ca
+
+#endif  // CA_CORE_CACHED_ATTENTION_H_

@@ -1,0 +1,200 @@
+#include "src/model/checkpoint.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace ca {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x43414d43;  // "CAMC"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint32_t vocab_size;
+  std::uint32_t d_model;
+  std::uint32_t n_layers;
+  std::uint32_t n_heads;
+  std::uint32_t n_kv_heads;
+  std::uint32_t d_ff;
+  std::uint32_t context_window;
+  std::uint32_t tensor_count;
+  std::uint64_t payload_bytes;
+  std::uint32_t payload_crc;
+};
+
+// Collects every weight tensor in a fixed, documented order.
+std::vector<const Tensor*> WeightList(const Transformer& model) {
+  std::vector<const Tensor*> out = {&model.embedding(), &model.lm_head(), &model.rms_final()};
+  for (std::size_t l = 0; l < model.config().n_layers; ++l) {
+    const LayerWeights& w = model.layer(l);
+    out.push_back(&w.rms_att);
+    out.push_back(&w.wq);
+    out.push_back(&w.wk);
+    out.push_back(&w.wv);
+    out.push_back(&w.wo);
+    out.push_back(&w.rms_ffn);
+    out.push_back(&w.w1);
+    out.push_back(&w.w2);
+    out.push_back(&w.w3);
+  }
+  return out;
+}
+
+std::vector<Tensor*> MutableWeightList(Transformer& model) {
+  std::vector<Tensor*> out = {&model.mutable_embedding(), &model.mutable_lm_head(),
+                              &model.mutable_rms_final()};
+  for (std::size_t l = 0; l < model.config().n_layers; ++l) {
+    LayerWeights& w = model.mutable_layer(l);
+    out.push_back(&w.rms_att);
+    out.push_back(&w.wq);
+    out.push_back(&w.wk);
+    out.push_back(&w.wv);
+    out.push_back(&w.wo);
+    out.push_back(&w.rms_ffn);
+    out.push_back(&w.w1);
+    out.push_back(&w.w2);
+    out.push_back(&w.w3);
+  }
+  return out;
+}
+
+class FileCloser {
+ public:
+  explicit FileCloser(std::FILE* f) : f_(f) {}
+  ~FileCloser() {
+    if (f_ != nullptr) {
+      std::fclose(f_);
+    }
+  }
+  FileCloser(const FileCloser&) = delete;
+  FileCloser& operator=(const FileCloser&) = delete;
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t size) {
+  // Bitwise CRC-32C (Castagnoli). Slow but dependency-free; checkpoints are
+  // small.
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) != 0 ? 0x82F63B78U : 0U);
+      }
+      table[i] = crc;
+    }
+    return table;
+  }();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ p[i]) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+Status SaveCheckpoint(const Transformer& model, const std::string& path) {
+  const auto weights = WeightList(model);
+  std::uint64_t payload_bytes = 0;
+  for (const Tensor* t : weights) {
+    payload_bytes += t->numel() * sizeof(float);
+  }
+  // CRC over the concatenated payload.
+  std::uint32_t crc = 0xFFFFFFFFU;
+  // Compute incrementally by chaining Crc32c over a running buffer would
+  // need a streaming variant; instead assemble the payload (trained minis
+  // are a few MB).
+  std::vector<std::uint8_t> payload;
+  payload.reserve(payload_bytes);
+  for (const Tensor* t : weights) {
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(t->data());
+    payload.insert(payload.end(), bytes, bytes + t->numel() * sizeof(float));
+  }
+  crc = Crc32c(payload.data(), payload.size());
+
+  const ModelConfig& c = model.config();
+  Header header{.magic = kCheckpointMagic,
+                .version = kVersion,
+                .vocab_size = static_cast<std::uint32_t>(c.vocab_size),
+                .d_model = static_cast<std::uint32_t>(c.d_model),
+                .n_layers = static_cast<std::uint32_t>(c.n_layers),
+                .n_heads = static_cast<std::uint32_t>(c.n_heads),
+                .n_kv_heads = static_cast<std::uint32_t>(c.n_kv_heads),
+                .d_ff = static_cast<std::uint32_t>(c.d_ff),
+                .context_window = static_cast<std::uint32_t>(c.context_window),
+                .tensor_count = static_cast<std::uint32_t>(weights.size()),
+                .payload_bytes = payload_bytes,
+                .payload_crc = crc};
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return IoError("cannot open " + path + " for writing");
+  }
+  FileCloser closer(f);
+  if (std::fwrite(&header, sizeof(header), 1, f) != 1 ||
+      (payload.size() > 0 && std::fwrite(payload.data(), 1, payload.size(), f) != payload.size())) {
+    return IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Status LoadCheckpoint(Transformer& model, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return IoError("cannot open " + path);
+  }
+  FileCloser closer(f);
+  Header header;
+  if (std::fread(&header, sizeof(header), 1, f) != 1) {
+    return IoError("short read (header) from " + path);
+  }
+  if (header.magic != kCheckpointMagic) {
+    return InvalidArgumentError(path + " is not a checkpoint");
+  }
+  if (header.version != kVersion) {
+    return InvalidArgumentError("unsupported checkpoint version");
+  }
+  const ModelConfig& c = model.config();
+  if (header.vocab_size != c.vocab_size || header.d_model != c.d_model ||
+      header.n_layers != c.n_layers || header.n_heads != c.n_heads ||
+      header.n_kv_heads != c.n_kv_heads || header.d_ff != c.d_ff) {
+    return InvalidArgumentError("checkpoint architecture does not match the model");
+  }
+  std::vector<std::uint8_t> payload(header.payload_bytes);
+  if (std::fread(payload.data(), 1, payload.size(), f) != payload.size()) {
+    return IoError("short read (payload) from " + path);
+  }
+  if (Crc32c(payload.data(), payload.size()) != header.payload_crc) {
+    return IoError("checkpoint payload CRC mismatch (corrupt file?)");
+  }
+  auto weights = MutableWeightList(model);
+  if (weights.size() != header.tensor_count) {
+    return InvalidArgumentError("checkpoint tensor count mismatch");
+  }
+  std::size_t offset = 0;
+  for (Tensor* t : weights) {
+    const std::size_t bytes = t->numel() * sizeof(float);
+    if (offset + bytes > payload.size()) {
+      return InvalidArgumentError("checkpoint payload too small");
+    }
+    std::memcpy(t->data(), payload.data() + offset, bytes);
+    offset += bytes;
+  }
+  if (offset != payload.size()) {
+    return InvalidArgumentError("checkpoint payload has trailing bytes");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ca

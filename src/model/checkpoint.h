@@ -1,0 +1,28 @@
+// Transformer weight checkpointing: a flat binary format with a shape table
+// and CRC so trained models can be persisted and reloaded (the trained-LM
+// fixtures cache their weights this way instead of retraining per process).
+#ifndef CA_MODEL_CHECKPOINT_H_
+#define CA_MODEL_CHECKPOINT_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/model/transformer.h"
+
+namespace ca {
+
+// Writes every weight tensor of `model` to `path`. The model config's
+// structural fields are stored for validation at load time.
+Status SaveCheckpoint(const Transformer& model, const std::string& path);
+
+// Loads weights from `path` into `model`. Fails (without modifying the
+// model) if the file's architecture or checksum does not match.
+Status LoadCheckpoint(Transformer& model, const std::string& path);
+
+// CRC-32C over a byte range (Castagnoli polynomial, bitwise; used by the
+// checkpoint and KV serialization formats).
+std::uint32_t Crc32c(const void* data, std::size_t size);
+
+}  // namespace ca
+
+#endif  // CA_MODEL_CHECKPOINT_H_

@@ -1,0 +1,96 @@
+#include "src/model/compression.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace ca {
+
+void AttentionMassAccumulator::OnAttention(std::size_t layer, std::size_t head,
+                                           std::size_t query_pos, std::span<const float> probs) {
+  (void)layer;
+  (void)head;
+  (void)query_pos;
+  if (mass_.size() < probs.size()) {
+    mass_.resize(probs.size(), 0.0f);
+  }
+  for (std::size_t j = 0; j < probs.size(); ++j) {
+    mass_[j] += probs[j];
+  }
+}
+
+std::vector<std::size_t> BuildTokenDiscardList(const CompressionConfig& config,
+                                               std::size_t seq_len,
+                                               std::span<const float> importance) {
+  std::vector<std::size_t> discard;
+  if (config.policy == CompressionPolicy::kNone) {
+    return discard;
+  }
+  const std::size_t sinks = std::min(config.sink_tokens, seq_len);
+  const std::size_t recents = std::min(config.recent_tokens, seq_len - sinks);
+  const std::size_t middle_begin = sinks;
+  const std::size_t middle_end = seq_len - recents;
+  if (middle_begin >= middle_end) {
+    return discard;  // nothing between sinks and recents
+  }
+  const std::size_t middle = middle_end - middle_begin;
+
+  switch (config.policy) {
+    case CompressionPolicy::kNone:
+      break;
+    case CompressionPolicy::kAttentionSink: {
+      discard.reserve(middle);
+      for (std::size_t i = middle_begin; i < middle_end; ++i) {
+        discard.push_back(i);
+      }
+      break;
+    }
+    case CompressionPolicy::kImportance: {
+      const auto keep =
+          static_cast<std::size_t>(config.middle_keep_ratio * static_cast<double>(middle));
+      // Rank middle positions by accumulated attention mass, descending.
+      std::vector<std::size_t> order(middle);
+      std::iota(order.begin(), order.end(), middle_begin);
+      auto mass_of = [&](std::size_t pos) {
+        return pos < importance.size() ? importance[pos] : 0.0f;
+      };
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return mass_of(a) > mass_of(b);
+      });
+      discard.assign(order.begin() + static_cast<std::ptrdiff_t>(std::min(keep, middle)),
+                     order.end());
+      std::sort(discard.begin(), discard.end());
+      break;
+    }
+    case CompressionPolicy::kRandom: {
+      const auto keep =
+          static_cast<std::size_t>(config.middle_keep_ratio * static_cast<double>(middle));
+      std::vector<std::size_t> order(middle);
+      std::iota(order.begin(), order.end(), middle_begin);
+      Rng rng(config.seed);
+      // Fisher-Yates shuffle, then discard everything after the kept prefix.
+      for (std::size_t i = middle; i > 1; --i) {
+        std::swap(order[i - 1], order[rng.NextBounded(i)]);
+      }
+      discard.assign(order.begin() + static_cast<std::ptrdiff_t>(std::min(keep, middle)),
+                     order.end());
+      std::sort(discard.begin(), discard.end());
+      break;
+    }
+  }
+  return discard;
+}
+
+std::size_t CompressCache(const CompressionConfig& config, KvCache& cache,
+                          std::span<const float> importance) {
+  const auto discard = BuildTokenDiscardList(config, cache.seq_len(), importance);
+  if (!discard.empty()) {
+    CA_CHECK(cache.pe_mode() == PeMode::kDecoupled)
+        << "TDL compression requires decoupled positional encoding";
+    cache.DiscardTokens(discard);
+  }
+  return discard.size();
+}
+
+}  // namespace ca

@@ -1,0 +1,82 @@
+// KV cache compression via token-discarding lists (TDL).
+//
+// §3.4 (end): "CachedAttention also allows for selective preservation of
+// certain KV cache for compression, e.g., the initial tokens with important
+// scores [attention sinks] or important tokens [H2O/Scissorhands]. ... a
+// given KV cache compression technique essentially provides a methodology
+// for creating a token discarding list (TDL) ... CachedAttention
+// straightforwardly complies with the TDL, discarding the KV cache
+// associated with the TDL within the AttentionStore."
+//
+// Decoupled positional encoding is what makes this composable: after
+// discarding arbitrary middle tokens, the survivors re-embed at contiguous
+// positions 0..n'-1 (exactly how StreamingLLM/H2O re-index), so the
+// compressed cache stays valid.
+#ifndef CA_MODEL_COMPRESSION_H_
+#define CA_MODEL_COMPRESSION_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/model/kv_cache.h"
+#include "src/model/transformer.h"
+
+namespace ca {
+
+enum class CompressionPolicy {
+  kNone,
+  // Keep the first `sink_tokens` (attention sinks) and the most recent
+  // `recent_tokens`; discard the middle (StreamingLLM-style).
+  kAttentionSink,
+  // Keep sinks + recents, plus the middle tokens with the highest
+  // accumulated attention mass (H2O-style heavy hitters).
+  kImportance,
+  // Keep sinks + recents, plus uniformly random middle tokens. A control
+  // baseline: any importance signal should beat it.
+  kRandom,
+};
+
+struct CompressionConfig {
+  CompressionPolicy policy = CompressionPolicy::kNone;
+  std::size_t sink_tokens = 4;
+  std::size_t recent_tokens = 32;
+  // Fraction of the *middle* region (between sinks and recents) to keep
+  // under kImportance / kRandom. kAttentionSink keeps none of it.
+  double middle_keep_ratio = 0.25;
+  std::uint64_t seed = 1;  // for kRandom
+};
+
+// Accumulates, for every cached position, the total attention probability
+// mass it receives (summed over layers, heads and query positions).
+class AttentionMassAccumulator final : public AttentionObserver {
+ public:
+  void OnAttention(std::size_t layer, std::size_t head, std::size_t query_pos,
+                   std::span<const float> probs) override;
+
+  // Mass per cached position (index = current position). Positions beyond
+  // the longest observed context have zero mass.
+  const std::vector<float>& mass() const { return mass_; }
+  void Reset() { mass_.clear(); }
+
+ private:
+  std::vector<float> mass_;
+};
+
+// Builds the token-discarding list for a cache of `seq_len` tokens.
+// `importance` (mass per position) is required for kImportance and may be
+// shorter than seq_len (missing entries count as zero mass). Returned
+// indices are current positions, strictly increasing.
+std::vector<std::size_t> BuildTokenDiscardList(const CompressionConfig& config,
+                                               std::size_t seq_len,
+                                               std::span<const float> importance);
+
+// Convenience: applies the policy directly to a cache. Returns the number
+// of discarded tokens.
+std::size_t CompressCache(const CompressionConfig& config, KvCache& cache,
+                          std::span<const float> importance);
+
+}  // namespace ca
+
+#endif  // CA_MODEL_COMPRESSION_H_

@@ -1,0 +1,47 @@
+#include "src/model/eval.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/tensor/ops.h"
+
+namespace ca {
+
+double ContinuationNll(const Transformer& model, std::span<const TokenId> continuation,
+                       KvCache& cache) {
+  CA_CHECK_GE(continuation.size(), 2U) << "need at least one (context, target) pair";
+  // Forward all tokens at once; logits row i predicts continuation[i+1].
+  const Tensor logits = model.Forward(continuation, cache);
+  const std::size_t vocab = model.config().vocab_size;
+  double total_nll = 0.0;
+  const std::size_t pairs = continuation.size() - 1;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const std::span<const float> row{logits.row(i), vocab};
+    const double lse = LogSumExp(row);
+    const TokenId target = continuation[i + 1];
+    total_nll += lse - static_cast<double>(row[static_cast<std::size_t>(target)]);
+  }
+  return total_nll / static_cast<double>(pairs);
+}
+
+double NllToPerplexity(double nll) { return std::exp(nll); }
+
+TokenId PredictNext(const Transformer& model, std::span<const TokenId> probe, KvCache& cache) {
+  CA_CHECK_GT(probe.size(), 0U);
+  const Tensor logits = model.Forward(probe, cache);
+  return model.Argmax(logits, logits.dim(0) - 1);
+}
+
+double ArgmaxAgreement(const Transformer& model, const Tensor& logits_a, const Tensor& logits_b) {
+  CA_CHECK_EQ(logits_a.dim(0), logits_b.dim(0));
+  const std::size_t rows = logits_a.dim(0);
+  std::size_t agree = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (model.Argmax(logits_a, r) == model.Argmax(logits_b, r)) {
+      ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(rows);
+}
+
+}  // namespace ca

@@ -1,0 +1,33 @@
+// Evaluation helpers for the positional-encoding fidelity experiments
+// (paper Tables 1 and 2): perplexity of a continuation given cached context,
+// and next-token agreement against a reference method.
+#ifndef CA_MODEL_EVAL_H_
+#define CA_MODEL_EVAL_H_
+
+#include <span>
+#include <vector>
+
+#include "src/model/kv_cache.h"
+#include "src/model/transformer.h"
+
+namespace ca {
+
+// Mean negative log-likelihood (nats/token) of `continuation` under the
+// model, with `cache` holding the preceding context. The cache is advanced
+// over the continuation as a side effect.
+double ContinuationNll(const Transformer& model, std::span<const TokenId> continuation,
+                       KvCache& cache);
+
+// exp(nll): perplexity.
+double NllToPerplexity(double nll);
+
+// Greedy next-token prediction given cached context plus `probe` tokens.
+// The cache is advanced over the probe.
+TokenId PredictNext(const Transformer& model, std::span<const TokenId> probe, KvCache& cache);
+
+// Fraction of positions where the two logits tensors agree on the argmax.
+double ArgmaxAgreement(const Transformer& model, const Tensor& logits_a, const Tensor& logits_b);
+
+}  // namespace ca
+
+#endif  // CA_MODEL_EVAL_H_

@@ -1,0 +1,188 @@
+#include "src/model/kv_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace ca {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43414b56;  // "CAKV"
+
+struct SerializedHeader {
+  std::uint32_t magic;
+  std::uint32_t pe_mode;
+  std::uint32_t n_layers;
+  std::uint32_t kv_dim;
+  std::uint64_t seq_len;
+};
+
+}  // namespace
+
+KvCache::KvCache(const ModelConfig& config, PeMode pe_mode)
+    : pe_mode_(pe_mode), kv_dim_(config.kv_dim()), k_(config.n_layers), v_(config.n_layers) {
+  config.Validate();
+}
+
+std::size_t KvCache::seq_len() const {
+  if (k_.empty()) {
+    return 0;
+  }
+  return k_[0].size() / kv_dim_;
+}
+
+std::size_t KvCache::layer_len(std::size_t layer) const {
+  CA_CHECK_LT(layer, k_.size());
+  return k_[layer].size() / kv_dim_;
+}
+
+void KvCache::Append(std::size_t layer, std::span<const float> k, std::span<const float> v) {
+  CA_CHECK_LT(layer, k_.size());
+  CA_CHECK_EQ(k.size(), kv_dim_);
+  CA_CHECK_EQ(v.size(), kv_dim_);
+  k_[layer].insert(k_[layer].end(), k.begin(), k.end());
+  v_[layer].insert(v_[layer].end(), v.begin(), v.end());
+}
+
+std::span<const float> KvCache::K(std::size_t layer, std::size_t token) const {
+  CA_CHECK_LT(layer, k_.size());
+  CA_CHECK_LT(token, layer_len(layer));
+  return {k_[layer].data() + token * kv_dim_, kv_dim_};
+}
+
+std::span<const float> KvCache::V(std::size_t layer, std::size_t token) const {
+  CA_CHECK_LT(layer, v_.size());
+  CA_CHECK_LT(token, layer_len(layer));
+  return {v_[layer].data() + token * kv_dim_, kv_dim_};
+}
+
+std::span<float> KvCache::MutableK(std::size_t layer, std::size_t token) {
+  CA_CHECK_LT(layer, k_.size());
+  CA_CHECK_LT(token, layer_len(layer));
+  return {k_[layer].data() + token * kv_dim_, kv_dim_};
+}
+
+void KvCache::TruncateFront(std::size_t n_tokens) {
+  for (std::size_t layer = 0; layer < k_.size(); ++layer) {
+    const std::size_t len = layer_len(layer);
+    const std::size_t drop = std::min(n_tokens, len);
+    k_[layer].erase(k_[layer].begin(),
+                    k_[layer].begin() + static_cast<std::ptrdiff_t>(drop * kv_dim_));
+    v_[layer].erase(v_[layer].begin(),
+                    v_[layer].begin() + static_cast<std::ptrdiff_t>(drop * kv_dim_));
+  }
+}
+
+void KvCache::DiscardTokens(std::span<const std::size_t> discard) {
+  if (discard.empty()) {
+    return;
+  }
+  const std::size_t len = seq_len();
+  std::vector<bool> keep(len, true);
+  for (const std::size_t idx : discard) {
+    if (idx < len) {
+      keep[idx] = false;
+    }
+  }
+  for (std::size_t layer = 0; layer < k_.size(); ++layer) {
+    CA_CHECK_EQ(layer_len(layer), len) << "DiscardTokens mid-forward";
+    std::vector<float> new_k;
+    std::vector<float> new_v;
+    new_k.reserve(k_[layer].size());
+    new_v.reserve(v_[layer].size());
+    for (std::size_t t = 0; t < len; ++t) {
+      if (!keep[t]) {
+        continue;
+      }
+      const float* kp = k_[layer].data() + t * kv_dim_;
+      const float* vp = v_[layer].data() + t * kv_dim_;
+      new_k.insert(new_k.end(), kp, kp + kv_dim_);
+      new_v.insert(new_v.end(), vp, vp + kv_dim_);
+    }
+    k_[layer] = std::move(new_k);
+    v_[layer] = std::move(new_v);
+  }
+}
+
+void KvCache::Clear() {
+  for (auto& layer : k_) {
+    layer.clear();
+  }
+  for (auto& layer : v_) {
+    layer.clear();
+  }
+}
+
+std::uint64_t KvCache::byte_size() const {
+  std::uint64_t bytes = 0;
+  for (std::size_t layer = 0; layer < k_.size(); ++layer) {
+    bytes += (k_[layer].size() + v_[layer].size()) * sizeof(float);
+  }
+  return bytes;
+}
+
+KvCache KvCache::Clone() const { return *this; }
+
+std::vector<std::uint8_t> KvCache::Serialize() const {
+  const std::size_t len = seq_len();
+  for (std::size_t layer = 0; layer < k_.size(); ++layer) {
+    CA_CHECK_EQ(layer_len(layer), len) << "Serialize mid-forward";
+  }
+  SerializedHeader header{
+      .magic = kMagic,
+      .pe_mode = static_cast<std::uint32_t>(pe_mode_),
+      .n_layers = static_cast<std::uint32_t>(k_.size()),
+      .kv_dim = static_cast<std::uint32_t>(kv_dim_),
+      .seq_len = len,
+  };
+  std::vector<std::uint8_t> out(sizeof(header) + byte_size());
+  std::memcpy(out.data(), &header, sizeof(header));
+  std::size_t off = sizeof(header);
+  for (std::size_t layer = 0; layer < k_.size(); ++layer) {
+    const std::size_t k_bytes = k_[layer].size() * sizeof(float);
+    std::memcpy(out.data() + off, k_[layer].data(), k_bytes);
+    off += k_bytes;
+    const std::size_t v_bytes = v_[layer].size() * sizeof(float);
+    std::memcpy(out.data() + off, v_[layer].data(), v_bytes);
+    off += v_bytes;
+  }
+  CA_CHECK_EQ(off, out.size());
+  return out;
+}
+
+Result<KvCache> KvCache::Deserialize(const ModelConfig& config,
+                                     std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < sizeof(SerializedHeader)) {
+    return InvalidArgumentError("KV cache buffer shorter than header");
+  }
+  SerializedHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (header.magic != kMagic) {
+    return InvalidArgumentError("bad KV cache magic");
+  }
+  if (header.n_layers != config.n_layers || header.kv_dim != config.kv_dim()) {
+    return InvalidArgumentError("KV cache shape does not match model config");
+  }
+  const std::size_t row_floats = header.kv_dim;
+  const std::size_t expected =
+      sizeof(header) + 2ULL * header.n_layers * header.seq_len * row_floats * sizeof(float);
+  if (bytes.size() != expected) {
+    return InvalidArgumentError("KV cache buffer size mismatch");
+  }
+  KvCache cache(config, static_cast<PeMode>(header.pe_mode));
+  std::size_t off = sizeof(header);
+  const std::size_t layer_floats = header.seq_len * row_floats;
+  for (std::size_t layer = 0; layer < header.n_layers; ++layer) {
+    cache.k_[layer].resize(layer_floats);
+    std::memcpy(cache.k_[layer].data(), bytes.data() + off, layer_floats * sizeof(float));
+    off += layer_floats * sizeof(float);
+    cache.v_[layer].resize(layer_floats);
+    std::memcpy(cache.v_[layer].data(), bytes.data() + off, layer_floats * sizeof(float));
+    off += layer_floats * sizeof(float);
+  }
+  return cache;
+}
+
+}  // namespace ca

@@ -1,0 +1,84 @@
+// KV cache for the executable mini-transformer.
+//
+// Layout: per transformer layer, two contiguous fp32 arrays K and V of shape
+// [seq_len, kv_dim]. The positional-encoding mode decides what K rows hold:
+//  * PeMode::kDecoupled (CachedAttention) — K is stored pre-RoPE. Positions
+//    are re-embedded by the attention kernel at load time, so TruncateFront
+//    keeps the cache valid (§3.4).
+//  * PeMode::kCoupled (conventional) — K is stored post-RoPE at the position
+//    each token had when it was computed. TruncateFront on such a cache
+//    produces the paper's NKVT corruption.
+//
+// The cache serialises to a flat byte buffer so AttentionStore can move it
+// across memory/disk tiers without knowing the tensor layout.
+#ifndef CA_MODEL_KV_CACHE_H_
+#define CA_MODEL_KV_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/model/config.h"
+
+namespace ca {
+
+class KvCache {
+ public:
+  KvCache(const ModelConfig& config, PeMode pe_mode);
+
+  PeMode pe_mode() const { return pe_mode_; }
+  std::size_t n_layers() const { return k_.size(); }
+  std::size_t kv_dim() const { return kv_dim_; }
+
+  // Number of cached tokens (uniform across layers once a forward pass
+  // completes).
+  std::size_t seq_len() const;
+  // Tokens appended so far to a specific layer (mid-forward they differ).
+  std::size_t layer_len(std::size_t layer) const;
+
+  bool empty() const { return seq_len() == 0; }
+
+  // Appends one token's K and V rows (each kv_dim floats) to `layer`.
+  void Append(std::size_t layer, std::span<const float> k, std::span<const float> v);
+
+  // Row accessors.
+  std::span<const float> K(std::size_t layer, std::size_t token) const;
+  std::span<const float> V(std::size_t layer, std::size_t token) const;
+  std::span<float> MutableK(std::size_t layer, std::size_t token);
+
+  // Drops the oldest `n_tokens` tokens from every layer. With kDecoupled
+  // this is the paper's KV cache truncation; with kCoupled it deliberately
+  // reproduces NKVT's positional corruption (kept for the baseline).
+  void TruncateFront(std::size_t n_tokens);
+
+  // Keeps only tokens whose index is NOT in `discard` (token-discarding-list
+  // support for KV compression schemes, §3.4). Indices refer to current
+  // positions; out-of-range entries are ignored.
+  void DiscardTokens(std::span<const std::size_t> discard);
+
+  // Removes all cached tokens.
+  void Clear();
+
+  // fp32 byte footprint of the cached tensors (excludes header).
+  std::uint64_t byte_size() const;
+
+  KvCache Clone() const;
+
+  // Flat-buffer serialisation (header + raw fp32 data).
+  std::vector<std::uint8_t> Serialize() const;
+  static Result<KvCache> Deserialize(const ModelConfig& config,
+                                     std::span<const std::uint8_t> bytes);
+
+ private:
+  PeMode pe_mode_;
+  std::size_t kv_dim_;
+  // Indexed [layer]; each holds layer_len * kv_dim floats.
+  std::vector<std::vector<float>> k_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace ca
+
+#endif  // CA_MODEL_KV_CACHE_H_

@@ -1,0 +1,52 @@
+#include "src/model/rope.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace ca {
+
+RopeTable::RopeTable(std::size_t head_dim, float theta) : head_dim_(head_dim) {
+  CA_CHECK_EQ(head_dim % 2, 0U);
+  inv_freq_.resize(head_dim / 2);
+  for (std::size_t i = 0; i < inv_freq_.size(); ++i) {
+    inv_freq_[i] = std::pow(theta, -2.0f * static_cast<float>(i) / static_cast<float>(head_dim));
+  }
+}
+
+void RopeTable::Apply(std::span<float> vec, std::size_t pos) const {
+  CA_CHECK_EQ(vec.size(), head_dim_);
+  const auto p = static_cast<float>(pos);
+  for (std::size_t i = 0; i < inv_freq_.size(); ++i) {
+    const float angle = p * inv_freq_[i];
+    const float c = std::cos(angle);
+    const float s = std::sin(angle);
+    const float x = vec[2 * i];
+    const float y = vec[2 * i + 1];
+    vec[2 * i] = x * c - y * s;
+    vec[2 * i + 1] = x * s + y * c;
+  }
+}
+
+void RopeTable::ApplyAllHeads(std::span<float> packed, std::size_t pos) const {
+  CA_CHECK_EQ(packed.size() % head_dim_, 0U);
+  for (std::size_t off = 0; off < packed.size(); off += head_dim_) {
+    Apply(packed.subspan(off, head_dim_), pos);
+  }
+}
+
+void RopeTable::ApplyInverse(std::span<float> vec, std::size_t pos) const {
+  CA_CHECK_EQ(vec.size(), head_dim_);
+  const auto p = static_cast<float>(pos);
+  for (std::size_t i = 0; i < inv_freq_.size(); ++i) {
+    const float angle = p * inv_freq_[i];
+    const float c = std::cos(angle);
+    const float s = std::sin(angle);
+    const float x = vec[2 * i];
+    const float y = vec[2 * i + 1];
+    vec[2 * i] = x * c + y * s;
+    vec[2 * i + 1] = -x * s + y * c;
+  }
+}
+
+}  // namespace ca

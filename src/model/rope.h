@@ -1,0 +1,39 @@
+// Rotary positional embedding (RoPE, Su et al.), the relative positional
+// encoding used by LLaMA/Mistral/Falcon. CachedAttention's decoupled-PE
+// scheme (§3.4) relies on applying RoPE *after* loading cached K vectors, at
+// their current (possibly shifted) positions.
+#ifndef CA_MODEL_ROPE_H_
+#define CA_MODEL_ROPE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ca {
+
+// Precomputed per-dimension inverse frequencies for one head.
+class RopeTable {
+ public:
+  RopeTable(std::size_t head_dim, float theta);
+
+  std::size_t head_dim() const { return head_dim_; }
+
+  // Rotates `vec` (one head, length head_dim) in place to encode position
+  // `pos`. Pairs (2i, 2i+1) are rotated by pos * inv_freq[i].
+  void Apply(std::span<float> vec, std::size_t pos) const;
+
+  // Rotates every head of a packed multi-head vector (length
+  // n_heads*head_dim) in place at position `pos`.
+  void ApplyAllHeads(std::span<float> packed, std::size_t pos) const;
+
+  // Inverse rotation (used only in tests to verify Apply is orthonormal).
+  void ApplyInverse(std::span<float> vec, std::size_t pos) const;
+
+ private:
+  std::size_t head_dim_;
+  std::vector<float> inv_freq_;  // head_dim/2 entries
+};
+
+}  // namespace ca
+
+#endif  // CA_MODEL_ROPE_H_

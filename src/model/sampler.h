@@ -1,0 +1,65 @@
+// Token sampling strategies over a logits row.
+#ifndef CA_MODEL_SAMPLER_H_
+#define CA_MODEL_SAMPLER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/model/transformer.h"
+#include "src/tensor/tensor.h"
+
+namespace ca {
+
+// Temperature + top-k sampler. temperature == 0 degenerates to argmax.
+class Sampler {
+ public:
+  Sampler(float temperature, std::size_t top_k, std::uint64_t seed)
+      : temperature_(temperature), top_k_(top_k), rng_(seed) {
+    CA_CHECK_GE(temperature, 0.0f);
+  }
+
+  TokenId Sample(const Tensor& logits, std::size_t row) {
+    CA_CHECK_EQ(logits.rank(), 2U);
+    const std::size_t vocab = logits.dim(1);
+    const float* r = logits.row(row);
+    if (temperature_ == 0.0f) {
+      return static_cast<TokenId>(std::max_element(r, r + vocab) - r);
+    }
+    // Rank tokens by logit, keep top-k.
+    std::vector<std::size_t> idx(vocab);
+    for (std::size_t i = 0; i < vocab; ++i) {
+      idx[i] = i;
+    }
+    const std::size_t k = top_k_ == 0 ? vocab : std::min(top_k_, vocab);
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
+                      [r](std::size_t a, std::size_t b) { return r[a] > r[b]; });
+    // Softmax over the kept logits at the given temperature.
+    std::vector<double> p(k);
+    const double max_logit = r[idx[0]];
+    double sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      p[i] = std::exp((r[idx[i]] - max_logit) / temperature_);
+      sum += p[i];
+    }
+    double u = rng_.NextDouble() * sum;
+    for (std::size_t i = 0; i < k; ++i) {
+      u -= p[i];
+      if (u <= 0.0) {
+        return static_cast<TokenId>(idx[i]);
+      }
+    }
+    return static_cast<TokenId>(idx[k - 1]);
+  }
+
+ private:
+  float temperature_;
+  std::size_t top_k_;
+  Rng rng_;
+};
+
+}  // namespace ca
+
+#endif  // CA_MODEL_SAMPLER_H_

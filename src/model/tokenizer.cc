@@ -1,0 +1,27 @@
+#include "src/model/tokenizer.h"
+
+#include "src/common/check.h"
+
+namespace ca {
+
+std::vector<TokenId> ByteTokenizer::Encode(std::string_view text) const {
+  std::vector<TokenId> out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    out.push_back(static_cast<TokenId>(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string ByteTokenizer::Decode(const std::vector<TokenId>& tokens) const {
+  std::string out;
+  out.reserve(tokens.size());
+  for (const TokenId t : tokens) {
+    CA_CHECK_GE(t, 0);
+    CA_CHECK_LT(static_cast<std::size_t>(t), kVocabSize);
+    out.push_back(static_cast<char>(static_cast<unsigned char>(t)));
+  }
+  return out;
+}
+
+}  // namespace ca

@@ -1,0 +1,25 @@
+// Byte-level tokenizer: one token per byte, matching the mini models'
+// 256-entry vocabulary. Keeps the examples self-contained without shipping a
+// learned vocabulary.
+#ifndef CA_MODEL_TOKENIZER_H_
+#define CA_MODEL_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/model/transformer.h"
+
+namespace ca {
+
+class ByteTokenizer {
+ public:
+  static constexpr std::size_t kVocabSize = 256;
+
+  std::vector<TokenId> Encode(std::string_view text) const;
+  std::string Decode(const std::vector<TokenId>& tokens) const;
+};
+
+}  // namespace ca
+
+#endif  // CA_MODEL_TOKENIZER_H_

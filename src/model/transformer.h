@@ -1,0 +1,105 @@
+// Executable mini-transformer (LLaMA-style: RMSNorm, RoPE, GQA attention,
+// SwiGLU FFN). Runs on the CPU in fp32.
+//
+// The forward pass consumes an external KvCache, which lets the engine layer
+// (src/core) implement both CachedAttention (reuse a cache loaded from
+// AttentionStore) and the recomputation baseline (fresh cache every turn)
+// with identical numerics.
+#ifndef CA_MODEL_TRANSFORMER_H_
+#define CA_MODEL_TRANSFORMER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/model/config.h"
+#include "src/model/kv_cache.h"
+#include "src/model/rope.h"
+#include "src/tensor/tensor.h"
+
+namespace ca {
+
+using TokenId = std::int32_t;
+
+// Observes attention distributions during a forward pass. Used by the KV
+// compression policies (src/model/compression.h) to accumulate the
+// attention mass each cached token receives.
+class AttentionObserver {
+ public:
+  virtual ~AttentionObserver() = default;
+  // Called once per (layer, head, query). `probs` covers cached positions
+  // 0..ctx-1 and sums to 1.
+  virtual void OnAttention(std::size_t layer, std::size_t head, std::size_t query_pos,
+                           std::span<const float> probs) = 0;
+};
+
+// Per-layer weight set. All projection matrices are stored [out_dim, in_dim]
+// and applied as y = x W^T.
+struct LayerWeights {
+  Tensor rms_att;  // [d_model]
+  Tensor wq;       // [q_dim, d_model]
+  Tensor wk;       // [kv_dim, d_model]
+  Tensor wv;       // [kv_dim, d_model]
+  Tensor wo;       // [d_model, q_dim]
+  Tensor rms_ffn;  // [d_model]
+  Tensor w1;       // [d_ff, d_model]  gate
+  Tensor w2;       // [d_model, d_ff]  down
+  Tensor w3;       // [d_ff, d_model]  up
+};
+
+class Transformer {
+ public:
+  // Deterministic random initialisation from `seed`.
+  Transformer(ModelConfig config, std::uint64_t seed);
+
+  const ModelConfig& config() const { return config_; }
+
+  // Creates a KV cache compatible with this model.
+  KvCache MakeCache(PeMode pe_mode) const { return KvCache(config_, pe_mode); }
+
+  // Runs the model over `tokens`, appending their KV entries to `cache`
+  // (which may already hold historical tokens — that is the CachedAttention
+  // partial prefill). Returns logits of shape [tokens.size(), vocab].
+  //
+  // Token positions are cache.seq_len() .. cache.seq_len()+n-1, i.e. the
+  // current post-truncation indices, which is exactly the decoupled-PE
+  // re-embedding of §3.4. An optional observer receives every attention
+  // distribution (for KV compression importance scoring).
+  Tensor Forward(std::span<const TokenId> tokens, KvCache& cache,
+                 AttentionObserver* observer = nullptr) const;
+
+  // Greedy decodes `max_new_tokens` continuations after `prompt` (prompt may
+  // be empty if cache already holds context). Returns generated tokens.
+  std::vector<TokenId> Generate(std::span<const TokenId> prompt, std::size_t max_new_tokens,
+                                KvCache& cache) const;
+
+  // Argmax over the logits row `row`.
+  TokenId Argmax(const Tensor& logits, std::size_t row) const;
+
+  // --- weight access (training / checkpoint loading) ---------------------
+  const RopeTable& rope() const { return rope_; }
+  Tensor& mutable_embedding() { return embedding_; }
+  const Tensor& embedding() const { return embedding_; }
+  Tensor& mutable_lm_head() { return lm_head_; }
+  const Tensor& lm_head() const { return lm_head_; }
+  Tensor& mutable_rms_final() { return rms_final_; }
+  const Tensor& rms_final() const { return rms_final_; }
+  LayerWeights& mutable_layer(std::size_t i) { return layers_[i]; }
+  const LayerWeights& layer(std::size_t i) const { return layers_[i]; }
+
+ private:
+  void AttentionBlock(std::size_t layer, Tensor& x, KvCache& cache, std::size_t history_len,
+                      AttentionObserver* observer) const;
+  void FfnBlock(std::size_t layer, Tensor& x) const;
+
+  ModelConfig config_;
+  RopeTable rope_;
+  Tensor embedding_;   // [vocab, d_model]
+  Tensor rms_final_;   // [d_model]
+  Tensor lm_head_;     // [vocab, d_model]
+  std::vector<LayerWeights> layers_;
+};
+
+}  // namespace ca
+
+#endif  // CA_MODEL_TRANSFORMER_H_

@@ -1,0 +1,43 @@
+#include "src/sched/batcher.h"
+
+#include "src/common/check.h"
+
+namespace ca {
+
+ContinuousBatcher::ContinuousBatcher(std::size_t max_batch) : max_batch_(max_batch) {
+  CA_CHECK_GT(max_batch, 0U);
+}
+
+void ContinuousBatcher::Admit(const Job& job, std::uint32_t remaining) {
+  CA_CHECK(HasSlot()) << "batch full";
+  CA_CHECK_EQ(active_.count(job.id), 0U) << "job " << job.id << " already active";
+  active_.emplace(job.id, Slot{.job = job, .remaining = remaining});
+}
+
+std::vector<Job> ContinuousBatcher::StepIteration() {
+  std::vector<Job> done;
+  for (auto it = active_.begin(); it != active_.end();) {
+    Slot& slot = it->second;
+    if (slot.remaining > 0) {
+      --slot.remaining;
+    }
+    if (slot.remaining == 0) {
+      done.push_back(slot.job);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return done;
+}
+
+std::vector<JobId> ContinuousBatcher::ActiveJobs() const {
+  std::vector<JobId> out;
+  out.reserve(active_.size());
+  for (const auto& [id, slot] : active_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace ca

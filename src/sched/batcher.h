@@ -1,0 +1,47 @@
+// Continuous batching bookkeeping (Orca-style, §4.1 "Continuous batching is
+// enabled through experiments"): a worker holds up to `max_batch` jobs; jobs
+// join as slots free up and leave individually when their decode finishes.
+#ifndef CA_SCHED_BATCHER_H_
+#define CA_SCHED_BATCHER_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sched/job.h"
+
+namespace ca {
+
+class ContinuousBatcher {
+ public:
+  explicit ContinuousBatcher(std::size_t max_batch);
+
+  std::size_t max_batch() const { return max_batch_; }
+  std::size_t active() const { return active_.size(); }
+  std::size_t free_slots() const { return max_batch_ - active_.size(); }
+  bool HasSlot() const { return active_.size() < max_batch_; }
+  bool empty() const { return active_.empty(); }
+
+  // Admits a job with `remaining` decode iterations left.
+  void Admit(const Job& job, std::uint32_t remaining);
+
+  // Advances every active job by one decode iteration; returns the jobs that
+  // completed (and releases their slots).
+  std::vector<Job> StepIteration();
+
+  // Jobs currently decoding.
+  std::vector<JobId> ActiveJobs() const;
+
+ private:
+  struct Slot {
+    Job job;
+    std::uint32_t remaining = 0;
+  };
+
+  std::size_t max_batch_;
+  std::unordered_map<JobId, Slot> active_;
+};
+
+}  // namespace ca
+
+#endif  // CA_SCHED_BATCHER_H_

@@ -1,0 +1,38 @@
+#include "src/sched/job_queue.h"
+
+#include <algorithm>
+
+namespace ca {
+
+void JobQueue::Push(Job job) { jobs_.push_back(job); }
+
+std::optional<Job> JobQueue::Pop() {
+  if (jobs_.empty()) {
+    return std::nullopt;
+  }
+  Job job = jobs_.front();
+  jobs_.pop_front();
+  return job;
+}
+
+const Job* JobQueue::Peek() const { return jobs_.empty() ? nullptr : &jobs_.front(); }
+
+std::vector<SessionId> JobQueue::SessionSnapshot() const {
+  std::vector<SessionId> out;
+  out.reserve(jobs_.size());
+  for (const Job& j : jobs_) {
+    out.push_back(j.session);
+  }
+  return out;
+}
+
+SchedulerHints JobQueue::HintsForWindow(std::size_t window_len) const {
+  SchedulerHints hints;
+  const std::size_t n = std::min(window_len, jobs_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    hints.next_use_index.emplace(jobs_[i].session, i);
+  }
+  return hints;
+}
+
+}  // namespace ca

@@ -1,0 +1,43 @@
+// FIFO job queue with look-ahead snapshots.
+//
+// The queue is the source of the scheduler hints that drive AttentionStore's
+// scheduler-aware fetching and eviction: "the job scheduler maintains a job
+// queue, thus having the full knowledge of waiting jobs" (§3.3.1).
+#ifndef CA_SCHED_JOB_QUEUE_H_
+#define CA_SCHED_JOB_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "src/sched/job.h"
+#include "src/store/types.h"
+
+namespace ca {
+
+class JobQueue {
+ public:
+  void Push(Job job);
+
+  // Pops the head job (FIFO order).
+  std::optional<Job> Pop();
+
+  const Job* Peek() const;
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+
+  // Session of every waiting job, head first (the look-ahead view).
+  std::vector<SessionId> SessionSnapshot() const;
+
+  // Hints over the first `window_len` waiting jobs (look-ahead eviction
+  // window). Sessions keep their earliest queue position.
+  SchedulerHints HintsForWindow(std::size_t window_len) const;
+
+ private:
+  std::deque<Job> jobs_;
+};
+
+}  // namespace ca
+
+#endif  // CA_SCHED_JOB_QUEUE_H_

@@ -1,0 +1,19 @@
+#include "src/sim/cost_model.h"
+
+namespace ca {
+
+CostBreakdown ComputeCost(const PricingConfig& pricing, std::size_t num_gpus, SimTime gpu_time,
+                          std::uint64_t dram_bytes, std::uint64_t ssd_bytes, SimTime wall_time) {
+  CostBreakdown cost;
+  const double gpu_hours =
+      ToSeconds(gpu_time) / 3600.0 * static_cast<double>(num_gpus);
+  cost.gpu = gpu_hours * pricing.gpu_per_hour;
+  const double wall_hours = ToSeconds(wall_time) / 3600.0;
+  const double dram_gb = static_cast<double>(dram_bytes) / 1e9;
+  const double ssd_gb = static_cast<double>(ssd_bytes) / 1e9;
+  cost.dram = dram_gb * wall_hours * pricing.dram_per_gb_hour;
+  cost.ssd = ssd_gb * wall_hours * pricing.ssd_per_gb_hour;
+  return cost;
+}
+
+}  // namespace ca

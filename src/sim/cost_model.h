@@ -1,0 +1,36 @@
+// AWS on-demand cost model (§4.2 "Inference cost"): $5/hour per A100 GPU,
+// $0.0088/hour/GB of DRAM, $0.000082/hour/GB of SSD.
+#ifndef CA_SIM_COST_MODEL_H_
+#define CA_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace ca {
+
+struct PricingConfig {
+  double gpu_per_hour = 5.0;
+  double dram_per_gb_hour = 0.0088;
+  double ssd_per_gb_hour = 0.000082;
+};
+
+struct CostBreakdown {
+  double gpu = 0.0;
+  double dram = 0.0;
+  double ssd = 0.0;
+
+  double total() const { return gpu + dram + ssd; }
+  double storage() const { return dram + ssd; }
+  double storage_fraction() const { return total() == 0.0 ? 0.0 : storage() / total(); }
+};
+
+// `gpu_time` is accumulated GPU busy time (across the job), multiplied by
+// the number of GPUs serving the model; storage is rented for the full
+// workload duration `wall_time`.
+CostBreakdown ComputeCost(const PricingConfig& pricing, std::size_t num_gpus, SimTime gpu_time,
+                          std::uint64_t dram_bytes, std::uint64_t ssd_bytes, SimTime wall_time);
+
+}  // namespace ca
+
+#endif  // CA_SIM_COST_MODEL_H_

@@ -1,0 +1,72 @@
+// Discrete-event simulation core: a time-ordered queue of callbacks with a
+// deterministic tie-break (FIFO by schedule order).
+#ifndef CA_SIM_EVENT_QUEUE_H_
+#define CA_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+
+namespace ca {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  // Schedules `cb` at absolute time `when` (>= now).
+  void ScheduleAt(SimTime when, Callback cb) {
+    CA_CHECK_GE(when, now_);
+    queue_.push(Event{when, next_seq_++, std::move(cb)});
+  }
+
+  // Schedules `cb` after `delay`.
+  void ScheduleAfter(SimTime delay, Callback cb) {
+    CA_CHECK_GE(delay, 0);
+    ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  // Runs events until the queue drains (or `max_events` fire). Returns the
+  // number of events executed.
+  std::size_t Run(std::size_t max_events = SIZE_MAX) {
+    std::size_t fired = 0;
+    while (!queue_.empty() && fired < max_events) {
+      // Copy out before pop: the callback may schedule new events.
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.when;
+      ev.cb();
+      ++fired;
+    }
+    return fired;
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback cb;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ca
+
+#endif  // CA_SIM_EVENT_QUEUE_H_

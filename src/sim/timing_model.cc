@@ -1,0 +1,105 @@
+#include "src/sim/timing_model.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ca {
+
+TimingModel::TimingModel(ModelDescriptor model, HardwareConfig hw)
+    : model_(std::move(model)), hw_(hw) {
+  CA_CHECK_GT(model_.params, 0.0);
+  CA_CHECK_GT(model_.n_layers, 0U);
+  CA_CHECK_GT(model_.num_gpus, 0U);
+}
+
+SimTime TimingModel::PrefillTime(std::uint64_t tokens) const {
+  if (tokens == 0) {
+    return 0;
+  }
+  const double flops = 2.0 * model_.params * static_cast<double>(tokens);
+  const double available =
+      hw_.gpu_peak_flops * static_cast<double>(model_.num_gpus) * hw_.prefill_efficiency;
+  return FromSeconds(flops / available * hw_.prefill_overhead);
+}
+
+SimTime TimingModel::DecodeIterTime(std::size_t batch, std::uint64_t avg_context_tokens) const {
+  if (batch == 0) {
+    return 0;
+  }
+  const double bw =
+      hw_.hbm_bandwidth * static_cast<double>(model_.num_gpus) * hw_.decode_efficiency;
+  // Stream the (fp16) weights once per iteration...
+  const double weight_bytes = model_.params * 2.0;
+  // ...plus every active sequence's KV cache.
+  const double kv_bytes = static_cast<double>(batch) * static_cast<double>(avg_context_tokens) *
+                          static_cast<double>(model_.kv_bytes_per_token);
+  return FromSeconds((weight_bytes + kv_bytes) / bw);
+}
+
+SimTime TimingModel::HostToHbm(std::uint64_t bytes) const {
+  return TransferTime(bytes, hw_.pcie_bandwidth);
+}
+
+SimTime TimingModel::HbmToHost(std::uint64_t bytes) const {
+  return TransferTime(bytes, hw_.pcie_bandwidth);
+}
+
+SimTime TimingModel::DiskToDram(std::uint64_t bytes) const {
+  return TransferTime(bytes, hw_.ssd_read_bandwidth);
+}
+
+SimTime TimingModel::DramToDisk(std::uint64_t bytes) const {
+  return TransferTime(bytes, hw_.ssd_write_bandwidth);
+}
+
+SimTime TimingModel::OverlappedPrefill(std::uint64_t hist_tokens, std::uint64_t new_tokens,
+                                       std::size_t read_buffer_layers, bool preload) const {
+  return OverlappedPrefillAtBandwidth(hist_tokens, new_tokens, read_buffer_layers, preload,
+                                      hw_.pcie_bandwidth);
+}
+
+SimTime TimingModel::OverlappedPrefillAtBandwidth(std::uint64_t hist_tokens,
+                                                  std::uint64_t new_tokens,
+                                                  std::size_t read_buffer_layers, bool preload,
+                                                  double load_bandwidth) const {
+  const SimTime t_load = TransferTime(KvBytes(hist_tokens), load_bandwidth);
+  const SimTime t_pref = PrefillTime(new_tokens);
+  if (t_load == 0) {
+    return t_pref;
+  }
+  if (!preload) {
+    return t_load + t_pref;
+  }
+  const auto layers = static_cast<SimTime>(model_.n_layers);
+  const SimTime per_layer_load = t_load / layers;
+  const SimTime per_layer_pref = t_pref / layers;
+  // Head start granted by the read buffer: `b` layers of KV were loaded
+  // while the previous job was still executing (Fig. 6c / 7b).
+  const SimTime head_start =
+      std::min<SimTime>(static_cast<SimTime>(read_buffer_layers) * per_layer_load, t_load);
+  // Pipeline completion: max over layers of load-finish + remaining compute.
+  const SimTime end_compute_bound = t_pref + std::max<SimTime>(0, per_layer_load - head_start);
+  const SimTime end_load_bound = t_load + per_layer_pref - head_start;
+  return std::max({t_pref, end_compute_bound, end_load_bound});
+}
+
+std::uint64_t TimingModel::PerfectReadBufferBytes(std::uint64_t hist_tokens,
+                                                  std::uint64_t new_tokens) const {
+  const SimTime t_load = HostToHbm(KvBytes(hist_tokens));
+  const SimTime t_pref = PrefillTime(new_tokens);
+  if (t_load <= t_pref) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(hw_.pcie_bandwidth * ToSeconds(t_load - t_pref));
+}
+
+SimTime TimingModel::SaveStall(std::uint64_t bytes_to_save, SimTime overlappable,
+                               std::uint64_t write_buffer_bytes) const {
+  const std::uint64_t unbuffered =
+      bytes_to_save > write_buffer_bytes ? bytes_to_save - write_buffer_bytes : 0;
+  const SimTime write_time = HbmToHost(unbuffered);
+  return std::max<SimTime>(0, write_time - overlappable);
+}
+
+}  // namespace ca

@@ -1,0 +1,92 @@
+// Analytic timing model for one model on one hardware node.
+//
+// Prefill is compute-bound: t = 2 * params * tokens / (flops * gpus * eff).
+// Decode is bandwidth-bound: every iteration streams the weights plus the
+// batch's KV caches from HBM.
+// KV movement uses the byte sizes from ModelDescriptor and the configured
+// link bandwidths.
+//
+// The layer-wise pre-loading overlap (§3.2.1, Figs. 6-7) has the closed
+// form derived from the per-layer pipeline: with L layers, per-layer load
+// time pl = T_load/L, per-layer compute pc = T_pref/L and a read buffer
+// giving a head start hs (the buffer holds `b` layers, so hs = b*pl, plus
+// it removes the wait for the previous job's execution-buffer release):
+//   t_end = max(T_pref,  T_pref + pl - hs,  T_load + pc - hs)
+// which degrades to T_load + T_pref when pre-loading is disabled.
+#ifndef CA_SIM_TIMING_MODEL_H_
+#define CA_SIM_TIMING_MODEL_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+#include "src/model/config.h"
+#include "src/sim/hardware.h"
+
+namespace ca {
+
+class TimingModel {
+ public:
+  TimingModel(ModelDescriptor model, HardwareConfig hw);
+
+  const ModelDescriptor& model() const { return model_; }
+  const HardwareConfig& hw() const { return hw_; }
+
+  // KV cache bytes for `tokens` tokens.
+  std::uint64_t KvBytes(std::uint64_t tokens) const {
+    return tokens * model_.kv_bytes_per_token;
+  }
+
+  // --- raw phase costs -------------------------------------------------
+
+  // Compute time to prefill `tokens` prompt tokens (one sequence or summed
+  // across a batch; the model is linear in tokens).
+  SimTime PrefillTime(std::uint64_t tokens) const;
+
+  // One decode iteration for a batch of `batch` sequences with mean context
+  // length `avg_context_tokens`.
+  SimTime DecodeIterTime(std::size_t batch, std::uint64_t avg_context_tokens) const;
+
+  // --- KV transfers ------------------------------------------------------
+
+  SimTime HostToHbm(std::uint64_t bytes) const;  // DRAM -> HBM over PCIe
+  SimTime HbmToHost(std::uint64_t bytes) const;  // HBM -> DRAM over PCIe
+  SimTime DiskToDram(std::uint64_t bytes) const;
+  SimTime DramToDisk(std::uint64_t bytes) const;
+
+  // --- overlap schemes ---------------------------------------------------
+
+  // Wall time of a CachedAttention partial prefill: load the KV of
+  // `hist_tokens` from host memory while computing `new_tokens`.
+  // `read_buffer_layers` sizes the HBM read buffer (0 = PL-B0); pass
+  // `preload=false` for the NO-PL baseline (§4.3.2).
+  SimTime OverlappedPrefill(std::uint64_t hist_tokens, std::uint64_t new_tokens,
+                            std::size_t read_buffer_layers, bool preload) const;
+
+  // Same pipeline but loading at an explicit bandwidth. Used for
+  // disk-resident KV caches, which stream disk -> DRAM -> HBM at
+  // min(SSD read, PCIe) bandwidth while the new tokens prefill.
+  SimTime OverlappedPrefillAtBandwidth(std::uint64_t hist_tokens, std::uint64_t new_tokens,
+                                       std::size_t read_buffer_layers, bool preload,
+                                       double load_bandwidth) const;
+
+  // Read-buffer bytes needed for perfect overlap:
+  // S_buf = B * (T_load*L_hist - T_pref*L_new)  (§3.2.1).
+  std::uint64_t PerfectReadBufferBytes(std::uint64_t hist_tokens,
+                                       std::uint64_t new_tokens) const;
+
+  // Stall charged after a job finishes for writing back `bytes_to_save` of
+  // KV, when `overlappable` of computation ran concurrently and the HBM
+  // write buffer absorbs `write_buffer_bytes` (§3.2.2). With async saving
+  // the stall is usually zero; the synchronous baseline passes
+  // overlappable=0 and write_buffer_bytes=0.
+  SimTime SaveStall(std::uint64_t bytes_to_save, SimTime overlappable,
+                    std::uint64_t write_buffer_bytes) const;
+
+ private:
+  ModelDescriptor model_;
+  HardwareConfig hw_;
+};
+
+}  // namespace ca
+
+#endif  // CA_SIM_TIMING_MODEL_H_

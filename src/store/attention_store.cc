@@ -1,0 +1,390 @@
+#include "src/store/attention_store.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace ca {
+
+std::string_view TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kHbm:
+      return "HBM";
+    case Tier::kDram:
+      return "DRAM";
+    case Tier::kDisk:
+      return "disk";
+    case Tier::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+AttentionStore::AttentionStore(StoreConfig config)
+    : config_(std::move(config)), policy_(MakeEvictionPolicy(config_.eviction_policy)) {
+  CA_CHECK_GT(config_.block_bytes, 0ULL);
+  if (config_.real_payloads) {
+    if (config_.hbm_capacity > 0) {
+      storages_[static_cast<std::size_t>(Tier::kHbm)] =
+          std::make_unique<MemoryBlockStorage>(config_.hbm_capacity, config_.block_bytes);
+    }
+    if (config_.dram_capacity > 0) {
+      storages_[static_cast<std::size_t>(Tier::kDram)] =
+          std::make_unique<MemoryBlockStorage>(config_.dram_capacity, config_.block_bytes);
+    }
+    if (config_.disk_capacity > 0) {
+      storages_[static_cast<std::size_t>(Tier::kDisk)] = std::make_unique<FileBlockStorage>(
+          config_.disk_path, config_.disk_capacity, config_.block_bytes);
+    }
+  }
+}
+
+std::vector<Tier> AttentionStore::EnabledTiers() const {
+  std::vector<Tier> tiers;
+  for (const Tier t : {Tier::kHbm, Tier::kDram, Tier::kDisk}) {
+    if (TierEnabled(t)) {
+      tiers.push_back(t);
+    }
+  }
+  return tiers;
+}
+
+Tier AttentionStore::NextSlowerTier(Tier tier) const {
+  const auto idx = static_cast<std::size_t>(tier);
+  for (std::size_t i = idx + 1; i < kNumTiers; ++i) {
+    if (TierEnabled(static_cast<Tier>(i))) {
+      return static_cast<Tier>(i);
+    }
+  }
+  return Tier::kNone;
+}
+
+std::uint64_t AttentionStore::RoundToBlocks(std::uint64_t bytes) const {
+  const std::uint64_t blocks = (bytes + config_.block_bytes - 1) / config_.block_bytes;
+  return blocks * config_.block_bytes;
+}
+
+std::uint64_t AttentionStore::CapacityBytes(Tier tier) const {
+  switch (tier) {
+    case Tier::kHbm:
+      return config_.hbm_capacity / config_.block_bytes * config_.block_bytes;
+    case Tier::kDram:
+      return config_.dram_capacity / config_.block_bytes * config_.block_bytes;
+    case Tier::kDisk:
+      return config_.disk_capacity / config_.block_bytes * config_.block_bytes;
+    case Tier::kNone:
+      return 0;
+  }
+  return 0;
+}
+
+std::uint64_t AttentionStore::UsedBytes(Tier tier) const {
+  if (tier == Tier::kNone) {
+    return 0;
+  }
+  return used_bytes_[static_cast<std::size_t>(tier)];
+}
+
+std::uint64_t AttentionStore::FreeBytes(Tier tier) const {
+  return CapacityBytes(tier) - UsedBytes(tier);
+}
+
+BlockStorage* AttentionStore::Storage(Tier tier) {
+  if (tier == Tier::kNone) {
+    return nullptr;
+  }
+  return storages_[static_cast<std::size_t>(tier)].get();
+}
+
+Tier AttentionStore::Lookup(SessionId session) const {
+  const auto it = records_.find(session);
+  return it == records_.end() ? Tier::kNone : it->second.tier;
+}
+
+std::optional<KvRecordInfo> AttentionStore::GetInfo(SessionId session) const {
+  const auto it = records_.find(session);
+  if (it == records_.end()) {
+    return std::nullopt;
+  }
+  const KvRecord& r = it->second;
+  return KvRecordInfo{.session = r.session,
+                      .tier = r.tier,
+                      .bytes = r.bytes,
+                      .token_count = r.token_count,
+                      .last_access = r.last_access};
+}
+
+std::optional<KvRecordInfo> AttentionStore::Access(SessionId session, SimTime now) {
+  ++stats_.lookups;
+  const auto it = records_.find(session);
+  if (it == records_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  KvRecord& r = it->second;
+  switch (r.tier) {
+    case Tier::kHbm:
+      ++stats_.hbm_hits;
+      break;
+    case Tier::kDram:
+      ++stats_.dram_hits;
+      break;
+    case Tier::kDisk:
+      ++stats_.disk_hits;
+      break;
+    case Tier::kNone:
+      CA_CHECK(false) << "record without tier";
+  }
+  r.last_access = now;
+  return GetInfo(session);
+}
+
+std::optional<SessionId> AttentionStore::PickVictim(Tier tier, SessionId exclude,
+                                                    const SchedulerHints& hints) {
+  std::vector<VictimView> candidates;
+  for (const auto& [id, r] : records_) {
+    if (r.tier == tier && id != exclude) {
+      candidates.push_back(VictimView{.session = id,
+                                      .last_access = r.last_access,
+                                      .insert_seq = r.insert_seq,
+                                      .bytes = r.bytes});
+    }
+  }
+  if (candidates.empty()) {
+    return std::nullopt;
+  }
+  return policy_->PickVictim(candidates, hints);
+}
+
+void AttentionStore::MoveRecord(KvRecord& record, Tier target) {
+  const Tier source = record.tier;
+  CA_CHECK(source != target);
+  // Move payload bytes first (real mode).
+  if (config_.real_payloads && !record.extent.empty()) {
+    BlockStorage* src_storage = Storage(source);
+    CA_CHECK(src_storage != nullptr);
+    if (target == Tier::kNone) {
+      src_storage->Free(record.extent);
+    } else {
+      BlockStorage* dst_storage = Storage(target);
+      CA_CHECK(dst_storage != nullptr);
+      auto data = src_storage->Read(record.extent);
+      CA_CHECK(data.ok()) << data.status();
+      auto new_extent = dst_storage->Write(*data);
+      CA_CHECK(new_extent.ok()) << new_extent.status();
+      src_storage->Free(record.extent);
+      record.extent = std::move(*new_extent);
+    }
+  }
+  if (source != Tier::kNone) {
+    used_bytes_[static_cast<std::size_t>(source)] -= record.block_bytes;
+  }
+  if (target != Tier::kNone) {
+    used_bytes_[static_cast<std::size_t>(target)] += record.block_bytes;
+  }
+  record.tier = target;
+}
+
+bool AttentionStore::EnsureRoom(Tier tier, std::uint64_t needed, SessionId exclude, SimTime now,
+                                const SchedulerHints& hints) {
+  if (needed > CapacityBytes(tier)) {
+    return false;
+  }
+  while (FreeBytes(tier) < needed) {
+    const auto victim = PickVictim(tier, exclude, hints);
+    if (!victim.has_value()) {
+      return false;
+    }
+    KvRecord& r = records_.at(*victim);
+    const Tier down = NextSlowerTier(tier);
+    if (down != Tier::kNone && EnsureRoom(down, r.block_bytes, exclude, now, hints)) {
+      MoveRecord(r, down);
+      ++stats_.demotions;
+      stats_.bytes_demoted += r.bytes;
+    } else {
+      // Nowhere below: evict out of the system.
+      MoveRecord(r, Tier::kNone);
+      ++stats_.evictions_out;
+      records_.erase(*victim);
+    }
+  }
+  return true;
+}
+
+Status AttentionStore::Put(SessionId session, std::uint64_t bytes, std::uint64_t token_count,
+                           std::span<const std::uint8_t> payload, SimTime now,
+                           const SchedulerHints& hints) {
+  CA_CHECK_GT(bytes, 0ULL);
+  if (config_.real_payloads) {
+    CA_CHECK_EQ(payload.size(), bytes) << "real-payload store requires the payload";
+  } else {
+    CA_CHECK(payload.empty()) << "payload passed to capacity-only store";
+  }
+
+  // Updating an existing record: release its old residency first so its own
+  // space counts as free for the new placement. The original insertion
+  // sequence is preserved so FIFO order reflects first insertion, not the
+  // latest update.
+  const auto it = records_.find(session);
+  const bool existed = it != records_.end();
+  std::uint64_t insert_seq = next_insert_seq_;
+  if (existed) {
+    insert_seq = it->second.insert_seq;
+    MoveRecord(it->second, Tier::kNone);
+    records_.erase(it);
+  } else {
+    ++next_insert_seq_;
+  }
+
+  const std::uint64_t block_bytes = RoundToBlocks(bytes);
+  const auto tiers = EnabledTiers();
+  for (const Tier tier : tiers) {
+    if (!EnsureRoom(tier, block_bytes, session, now, hints)) {
+      continue;
+    }
+    KvRecord record{.session = session,
+                    .tier = Tier::kNone,
+                    .bytes = bytes,
+                    .block_bytes = block_bytes,
+                    .token_count = token_count,
+                    .last_access = now,
+                    .insert_seq = insert_seq,
+                    .extent = {}};
+    if (config_.real_payloads) {
+      auto extent = Storage(tier)->Write(payload);
+      CA_CHECK(extent.ok()) << extent.status();
+      record.extent = std::move(*extent);
+    }
+    used_bytes_[static_cast<std::size_t>(tier)] += block_bytes;
+    record.tier = tier;
+    records_.emplace(session, std::move(record));
+    if (existed) {
+      ++stats_.updates;
+    } else {
+      ++stats_.inserts;
+    }
+    return Status::Ok();
+  }
+  return ResourceExhaustedError("KV cache of session " + std::to_string(session) +
+                                " fits in no tier");
+}
+
+Result<std::vector<std::uint8_t>> AttentionStore::ReadPayload(SessionId session) {
+  CA_CHECK(config_.real_payloads) << "ReadPayload on capacity-only store";
+  const auto it = records_.find(session);
+  if (it == records_.end()) {
+    return NotFoundError("session " + std::to_string(session));
+  }
+  BlockStorage* storage = Storage(it->second.tier);
+  CA_CHECK(storage != nullptr);
+  return storage->Read(it->second.extent);
+}
+
+Status AttentionStore::Promote(SessionId session, SimTime now, const SchedulerHints& hints) {
+  const auto it = records_.find(session);
+  if (it == records_.end()) {
+    return NotFoundError("session " + std::to_string(session));
+  }
+  KvRecord& r = it->second;
+  if (r.tier != Tier::kDisk) {
+    return FailedPreconditionError("session not on disk");
+  }
+  if (!TierEnabled(Tier::kDram)) {
+    return FailedPreconditionError("DRAM tier disabled");
+  }
+  if (!EnsureRoom(Tier::kDram, r.block_bytes, session, now, hints)) {
+    return ResourceExhaustedError("no DRAM room to promote session " + std::to_string(session));
+  }
+  MoveRecord(r, Tier::kDram);
+  ++stats_.promotions;
+  stats_.bytes_promoted += r.bytes;
+  return Status::Ok();
+}
+
+Status AttentionStore::Demote(SessionId session, SimTime now, const SchedulerHints& hints) {
+  const auto it = records_.find(session);
+  if (it == records_.end()) {
+    return NotFoundError("session " + std::to_string(session));
+  }
+  KvRecord& r = it->second;
+  const Tier down = NextSlowerTier(r.tier);
+  if (down == Tier::kNone) {
+    return FailedPreconditionError("no slower tier");
+  }
+  if (!EnsureRoom(down, r.block_bytes, session, now, hints)) {
+    return ResourceExhaustedError("no room below");
+  }
+  MoveRecord(r, down);
+  ++stats_.demotions;
+  stats_.bytes_demoted += r.bytes;
+  return Status::Ok();
+}
+
+std::size_t AttentionStore::MaintainDramBuffer(SimTime now, const SchedulerHints& hints) {
+  if (!TierEnabled(Tier::kDram) || config_.dram_buffer == 0) {
+    return 0;
+  }
+  std::size_t demoted = 0;
+  while (FreeBytes(Tier::kDram) < config_.dram_buffer) {
+    const auto victim = PickVictim(Tier::kDram, kInvalidSession, hints);
+    if (!victim.has_value()) {
+      break;
+    }
+    KvRecord& r = records_.at(*victim);
+    const Tier down = NextSlowerTier(Tier::kDram);
+    if (down != Tier::kNone && EnsureRoom(down, r.block_bytes, kInvalidSession, now, hints)) {
+      MoveRecord(r, down);
+      ++stats_.demotions;
+      stats_.bytes_demoted += r.bytes;
+    } else {
+      MoveRecord(r, Tier::kNone);
+      ++stats_.evictions_out;
+      records_.erase(*victim);
+    }
+    ++demoted;
+  }
+  return demoted;
+}
+
+void AttentionStore::Remove(SessionId session) {
+  const auto it = records_.find(session);
+  if (it == records_.end()) {
+    return;
+  }
+  MoveRecord(it->second, Tier::kNone);
+  records_.erase(it);
+}
+
+std::size_t AttentionStore::ExpireTtl(SimTime now) {
+  if (config_.ttl <= 0) {
+    return 0;
+  }
+  std::vector<SessionId> expired;
+  for (const auto& [id, r] : records_) {
+    if (now - r.last_access > config_.ttl) {
+      expired.push_back(id);
+    }
+  }
+  for (const SessionId id : expired) {
+    KvRecord& r = records_.at(id);
+    MoveRecord(r, Tier::kNone);
+    records_.erase(id);
+  }
+  stats_.ttl_expirations += expired.size();
+  return expired.size();
+}
+
+std::vector<SessionId> AttentionStore::SessionsInTier(Tier tier) const {
+  std::vector<SessionId> out;
+  for (const auto& [id, r] : records_) {
+    if (r.tier == tier) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+void AttentionStore::EraseRecord(SessionId session) { records_.erase(session); }
+
+}  // namespace ca

@@ -1,0 +1,180 @@
+// AttentionStore: the hierarchical KV caching system of the paper (§3.3).
+//
+// Records are kept at *session granularity* ("one item corresponds to all KV
+// caches associated with a conversation session, which is the minimal
+// eviction and fetching granularity"). Three tiers — HBM (usually disabled;
+// enabled only to reproduce the HBM-only baseline of §4.3.7), DRAM and disk
+// — each a block-granular pool. Placement prefers the fastest enabled tier;
+// making room demotes victims down the hierarchy (chosen by the configured
+// EvictionPolicy, consulting scheduler hints) and finally evicts records out
+// of the system.
+//
+// The store moves *metadata* instantaneously; actual byte movement is either
+// performed eagerly through the attached BlockStorages (real-execution mode)
+// or modelled by the discrete-event simulator, which charges transfer time
+// before invoking the corresponding store mutation.
+#ifndef CA_STORE_ATTENTION_STORE_H_
+#define CA_STORE_ATTENTION_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/store/block_storage.h"
+#include "src/store/eviction_policy.h"
+#include "src/store/types.h"
+
+namespace ca {
+
+struct StoreConfig {
+  // Tier capacities. Zero disables a tier. Paper default: no HBM cache tier,
+  // 128 GiB DRAM, 10 TiB disk.
+  std::uint64_t hbm_capacity = 0;
+  std::uint64_t dram_capacity = GiB(128);
+  std::uint64_t disk_capacity = TiB(10);
+
+  // Block size of the internal storage allocator.
+  std::uint64_t block_bytes = MiB(4);
+
+  // DRAM free-space buffer kept available for seamless disk→DRAM fetching
+  // (§3.3.1). When free DRAM drops below this, MaintainDramBuffer demotes
+  // records until the buffer is restored.
+  std::uint64_t dram_buffer = 0;
+
+  // Time-to-live since last access (§4.3.6). Zero disables expiration.
+  SimTime ttl = 0;
+
+  // Eviction policy: "scheduler-aware" (CachedAttention), "lru" or "fifo".
+  std::string eviction_policy = "scheduler-aware";
+
+  // When true, tiers get real payload storage (DRAM/HBM in memory, disk in
+  // a backing file under disk_path) and Put/ReadPayload move actual bytes.
+  bool real_payloads = false;
+  std::string disk_path = "/tmp/attention_store.blocks";
+};
+
+// Public view of one record.
+struct KvRecordInfo {
+  SessionId session = kInvalidSession;
+  Tier tier = Tier::kNone;
+  std::uint64_t bytes = 0;
+  std::uint64_t token_count = 0;
+  SimTime last_access = 0;
+};
+
+class AttentionStore {
+ public:
+  explicit AttentionStore(StoreConfig config);
+
+  const StoreConfig& config() const { return config_; }
+  const StoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = StoreStats{}; }
+  std::string_view policy_name() const { return policy_->name(); }
+
+  // --- Lookup ---------------------------------------------------------------
+
+  // Tier currently holding the session's KV (kNone if absent). Does not
+  // count towards hit statistics.
+  Tier Lookup(SessionId session) const;
+
+  std::optional<KvRecordInfo> GetInfo(SessionId session) const;
+
+  // Inference-time access: counts one lookup, a hit in the record's tier or
+  // a miss. Refreshes last_access on hit.
+  std::optional<KvRecordInfo> Access(SessionId session, SimTime now);
+
+  // --- Write path -----------------------------------------------------------
+
+  // Saves (or updates) a session's KV cache of `bytes` bytes covering
+  // `token_count` tokens. Placement prefers the fastest enabled tier; makes
+  // room via policy-driven demotion/eviction. If the record fits nowhere it
+  // is dropped and kResourceExhausted is returned.
+  //
+  // `payload` must be non-empty iff real_payloads is configured.
+  Status Put(SessionId session, std::uint64_t bytes, std::uint64_t token_count,
+             std::span<const std::uint8_t> payload, SimTime now, const SchedulerHints& hints);
+
+  // Reads a record's payload (real-payload mode only).
+  Result<std::vector<std::uint8_t>> ReadPayload(SessionId session);
+
+  // --- Placement management ---------------------------------------------
+
+  // Moves a disk-resident record into DRAM (scheduler-aware fetching
+  // executes these). Makes room in DRAM by demoting non-upcoming records.
+  Status Promote(SessionId session, SimTime now, const SchedulerHints& hints);
+
+  // Moves a DRAM-resident record to disk.
+  Status Demote(SessionId session, SimTime now, const SchedulerHints& hints);
+
+  // Demotes records until at least config.dram_buffer bytes of DRAM are
+  // free (§3.3.1's host-memory buffer). Returns demoted count.
+  std::size_t MaintainDramBuffer(SimTime now, const SchedulerHints& hints);
+
+  // Drops a record entirely (e.g. session invalidated by coupled-PE
+  // truncation in the OF baseline of §4.3.4).
+  void Remove(SessionId session);
+
+  // Expires records not accessed for config.ttl. Returns expired count.
+  std::size_t ExpireTtl(SimTime now);
+
+  // --- Introspection ----------------------------------------------------
+
+  std::uint64_t UsedBytes(Tier tier) const;
+  std::uint64_t FreeBytes(Tier tier) const;
+  std::uint64_t CapacityBytes(Tier tier) const;
+  std::size_t RecordCount() const { return records_.size(); }
+  std::vector<SessionId> SessionsInTier(Tier tier) const;
+
+ private:
+  struct KvRecord {
+    SessionId session = kInvalidSession;
+    Tier tier = Tier::kNone;
+    std::uint64_t bytes = 0;         // logical payload bytes
+    std::uint64_t block_bytes = 0;   // bytes charged against the tier (block-rounded)
+    std::uint64_t token_count = 0;
+    SimTime last_access = 0;
+    std::uint64_t insert_seq = 0;
+    BlockExtent extent;              // valid iff real payloads attached
+  };
+
+  bool TierEnabled(Tier tier) const { return CapacityBytes(tier) > 0; }
+  // Fastest enabled tier, in HBM→DRAM→disk order.
+  std::vector<Tier> EnabledTiers() const;
+  Tier NextSlowerTier(Tier tier) const;
+
+  std::uint64_t RoundToBlocks(std::uint64_t bytes) const;
+
+  // Frees `needed` bytes in `tier` by demoting/evicting victims (never
+  // touching `exclude`). Returns false if impossible.
+  bool EnsureRoom(Tier tier, std::uint64_t needed, SessionId exclude, SimTime now,
+                  const SchedulerHints& hints);
+
+  // Moves `record` to `target` tier (payloads copied if attached). `target`
+  // may be kNone, meaning eviction out of the system.
+  void MoveRecord(KvRecord& record, Tier target);
+
+  std::optional<SessionId> PickVictim(Tier tier, SessionId exclude, const SchedulerHints& hints);
+
+  BlockStorage* Storage(Tier tier);
+
+  void EraseRecord(SessionId session);
+
+  StoreConfig config_;
+  std::unique_ptr<EvictionPolicy> policy_;
+  std::unordered_map<SessionId, KvRecord> records_;
+  std::array<std::uint64_t, kNumTiers> used_bytes_ = {0, 0, 0};
+  std::array<std::unique_ptr<BlockStorage>, kNumTiers> storages_;  // null w/o payloads
+  std::uint64_t next_insert_seq_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace ca
+
+#endif  // CA_STORE_ATTENTION_STORE_H_

@@ -1,0 +1,45 @@
+#include "src/store/block_allocator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ca {
+
+BlockAllocator::BlockAllocator(std::uint64_t capacity_bytes, std::uint64_t block_bytes)
+    : block_bytes_(block_bytes), total_blocks_(capacity_bytes / block_bytes) {
+  CA_CHECK_GT(block_bytes, 0ULL);
+  free_list_.reserve(total_blocks_);
+  // Hand out low block ids first: push high ids so pop_back yields low ones.
+  for (std::uint64_t i = total_blocks_; i > 0; --i) {
+    free_list_.push_back(static_cast<BlockId>(i - 1));
+  }
+  allocated_.assign(total_blocks_, false);
+}
+
+Result<std::vector<BlockId>> BlockAllocator::Allocate(std::uint64_t n) {
+  if (n > free_list_.size()) {
+    return ResourceExhaustedError("block allocator: " + std::to_string(n) + " blocks requested, " +
+                                  std::to_string(free_list_.size()) + " free");
+  }
+  std::vector<BlockId> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const BlockId id = free_list_.back();
+    free_list_.pop_back();
+    allocated_[id] = true;
+    out.push_back(id);
+  }
+  return out;
+}
+
+void BlockAllocator::Free(std::span<const BlockId> blocks) {
+  for (const BlockId id : blocks) {
+    CA_CHECK_LT(id, total_blocks_);
+    CA_CHECK(allocated_[id]) << "double free of block " << id;
+    allocated_[id] = false;
+    free_list_.push_back(id);
+  }
+}
+
+}  // namespace ca

@@ -1,0 +1,51 @@
+// Fixed-size block allocator. The paper (§4.1) manages host memory and disks
+// "in the form of blocks to improve storage utilization, similar to vLLM";
+// this allocator provides that: a capacity-bounded pool of equal-size blocks
+// with O(1) allocate/free via a free list.
+#ifndef CA_STORE_BLOCK_ALLOCATOR_H_
+#define CA_STORE_BLOCK_ALLOCATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ca {
+
+using BlockId = std::uint32_t;
+
+class BlockAllocator {
+ public:
+  BlockAllocator(std::uint64_t capacity_bytes, std::uint64_t block_bytes);
+
+  std::uint64_t block_bytes() const { return block_bytes_; }
+  std::uint64_t total_blocks() const { return total_blocks_; }
+  std::uint64_t free_blocks() const { return free_list_.size(); }
+  std::uint64_t used_blocks() const { return total_blocks_ - free_blocks(); }
+  std::uint64_t capacity_bytes() const { return total_blocks_ * block_bytes_; }
+  std::uint64_t free_bytes() const { return free_blocks() * block_bytes_; }
+  std::uint64_t used_bytes() const { return used_blocks() * block_bytes_; }
+
+  // Number of blocks needed to hold `bytes`.
+  std::uint64_t BlocksFor(std::uint64_t bytes) const {
+    return (bytes + block_bytes_ - 1) / block_bytes_;
+  }
+
+  // Allocates `n` blocks; fails with kResourceExhausted if unavailable
+  // (allocating zero blocks succeeds with an empty list).
+  Result<std::vector<BlockId>> Allocate(std::uint64_t n);
+
+  // Returns blocks to the free list. Double-free aborts.
+  void Free(std::span<const BlockId> blocks);
+
+ private:
+  std::uint64_t block_bytes_;
+  std::uint64_t total_blocks_;
+  std::vector<BlockId> free_list_;
+  std::vector<bool> allocated_;  // double-free / invalid-free detection
+};
+
+}  // namespace ca
+
+#endif  // CA_STORE_BLOCK_ALLOCATOR_H_

@@ -1,0 +1,119 @@
+#include "src/store/block_storage.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace ca {
+
+Result<BlockExtent> BlockStorage::Write(std::span<const std::uint8_t> bytes) {
+  const std::uint64_t n_blocks = allocator_.BlocksFor(bytes.size());
+  CA_ASSIGN_OR_RETURN(std::vector<BlockId> blocks, allocator_.Allocate(n_blocks));
+  const std::uint64_t block_bytes = allocator_.block_bytes();
+  std::uint64_t off = 0;
+  for (const BlockId block : blocks) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(block_bytes, bytes.size() - off);
+    const Status s = WriteBlock(block, bytes.subspan(off, chunk));
+    if (!s.ok()) {
+      allocator_.Free(blocks);
+      return s;
+    }
+    off += chunk;
+  }
+  return BlockExtent{.blocks = std::move(blocks), .byte_length = bytes.size()};
+}
+
+Result<std::vector<std::uint8_t>> BlockStorage::Read(const BlockExtent& extent) {
+  std::vector<std::uint8_t> out(extent.byte_length);
+  const std::uint64_t block_bytes = allocator_.block_bytes();
+  std::uint64_t off = 0;
+  for (const BlockId block : extent.blocks) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(block_bytes, extent.byte_length - off);
+    CA_RETURN_IF_ERROR(ReadBlock(block, std::span<std::uint8_t>(out).subspan(off, chunk)));
+    off += chunk;
+  }
+  CA_CHECK_EQ(off, extent.byte_length);
+  return out;
+}
+
+void BlockStorage::Free(BlockExtent& extent) {
+  allocator_.Free(extent.blocks);
+  extent.blocks.clear();
+  extent.byte_length = 0;
+}
+
+MemoryBlockStorage::MemoryBlockStorage(std::uint64_t capacity_bytes, std::uint64_t block_bytes)
+    : BlockStorage(capacity_bytes, block_bytes) {
+  arena_.resize(allocator_.capacity_bytes());
+}
+
+Status MemoryBlockStorage::WriteBlock(BlockId block, std::span<const std::uint8_t> data) {
+  CA_CHECK_LE(data.size(), allocator_.block_bytes());
+  std::memcpy(arena_.data() + static_cast<std::uint64_t>(block) * allocator_.block_bytes(),
+              data.data(), data.size());
+  return Status::Ok();
+}
+
+Status MemoryBlockStorage::ReadBlock(BlockId block, std::span<std::uint8_t> out) {
+  CA_CHECK_LE(out.size(), allocator_.block_bytes());
+  std::memcpy(out.data(),
+              arena_.data() + static_cast<std::uint64_t>(block) * allocator_.block_bytes(),
+              out.size());
+  return Status::Ok();
+}
+
+FileBlockStorage::FileBlockStorage(std::string path, std::uint64_t capacity_bytes,
+                                   std::uint64_t block_bytes)
+    : BlockStorage(capacity_bytes, block_bytes), path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  CA_CHECK_GE(fd_, 0) << "cannot open " << path_ << ": " << std::strerror(errno);
+}
+
+FileBlockStorage::~FileBlockStorage() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+Status FileBlockStorage::WriteBlock(BlockId block, std::span<const std::uint8_t> data) {
+  CA_CHECK_LE(data.size(), allocator_.block_bytes());
+  const auto offset =
+      static_cast<off_t>(static_cast<std::uint64_t>(block) * allocator_.block_bytes());
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::pwrite(fd_, data.data() + written, data.size() - written,
+                               offset + static_cast<off_t>(written));
+    if (n < 0) {
+      return IoError(std::string("pwrite: ") + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status FileBlockStorage::ReadBlock(BlockId block, std::span<std::uint8_t> out) {
+  CA_CHECK_LE(out.size(), allocator_.block_bytes());
+  const auto offset =
+      static_cast<off_t>(static_cast<std::uint64_t>(block) * allocator_.block_bytes());
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n =
+        ::pread(fd_, out.data() + got, out.size() - got, offset + static_cast<off_t>(got));
+    if (n < 0) {
+      return IoError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return IoError("pread: unexpected EOF");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace ca

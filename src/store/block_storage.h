@@ -1,0 +1,92 @@
+// Block-granular payload storage for one tier.
+//
+// A BlockStorage writes a record's bytes across fixed-size blocks and reads
+// them back given the block list. Two implementations:
+//  * MemoryBlockStorage — heap arena (the DRAM / HBM tiers).
+//  * FileBlockStorage — one backing file with pread/pwrite at block offsets
+//    (the disk tier of the real-execution path).
+//
+// The simulator never attaches payload storage (capacity accounting only);
+// the real-execution engine always does.
+#ifndef CA_STORE_BLOCK_STORAGE_H_
+#define CA_STORE_BLOCK_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/store/block_allocator.h"
+
+namespace ca {
+
+// The blocks holding one record plus its exact byte length (the last block
+// is generally partially filled).
+struct BlockExtent {
+  std::vector<BlockId> blocks;
+  std::uint64_t byte_length = 0;
+
+  bool empty() const { return blocks.empty(); }
+};
+
+class BlockStorage {
+ public:
+  explicit BlockStorage(std::uint64_t capacity_bytes, std::uint64_t block_bytes)
+      : allocator_(capacity_bytes, block_bytes) {}
+  virtual ~BlockStorage() = default;
+
+  BlockStorage(const BlockStorage&) = delete;
+  BlockStorage& operator=(const BlockStorage&) = delete;
+
+  const BlockAllocator& allocator() const { return allocator_; }
+
+  // Allocates blocks and writes `bytes` into them.
+  Result<BlockExtent> Write(std::span<const std::uint8_t> bytes);
+
+  // Reads a record back.
+  Result<std::vector<std::uint8_t>> Read(const BlockExtent& extent);
+
+  // Releases a record's blocks.
+  void Free(BlockExtent& extent);
+
+ protected:
+  virtual Status WriteBlock(BlockId block, std::span<const std::uint8_t> data) = 0;
+  virtual Status ReadBlock(BlockId block, std::span<std::uint8_t> out) = 0;
+
+  BlockAllocator allocator_;
+};
+
+class MemoryBlockStorage final : public BlockStorage {
+ public:
+  MemoryBlockStorage(std::uint64_t capacity_bytes, std::uint64_t block_bytes);
+
+ protected:
+  Status WriteBlock(BlockId block, std::span<const std::uint8_t> data) override;
+  Status ReadBlock(BlockId block, std::span<std::uint8_t> out) override;
+
+ private:
+  std::vector<std::uint8_t> arena_;
+};
+
+class FileBlockStorage final : public BlockStorage {
+ public:
+  // Creates/truncates `path`. Aborts if the file cannot be opened.
+  FileBlockStorage(std::string path, std::uint64_t capacity_bytes, std::uint64_t block_bytes);
+  ~FileBlockStorage() override;
+
+  const std::string& path() const { return path_; }
+
+ protected:
+  Status WriteBlock(BlockId block, std::span<const std::uint8_t> data) override;
+  Status ReadBlock(BlockId block, std::span<std::uint8_t> out) override;
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace ca
+
+#endif  // CA_STORE_BLOCK_STORAGE_H_

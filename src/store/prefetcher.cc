@@ -1,0 +1,69 @@
+#include "src/store/prefetcher.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ca {
+
+PrefetchPlan Prefetcher::Plan(std::span<const SessionId> upcoming,
+                              std::uint64_t avg_session_kv_bytes) const {
+  PrefetchPlan plan;
+  if (avg_session_kv_bytes == 0) {
+    return plan;
+  }
+  // L_pw = C_mem / S_kv, where C_mem is DRAM capacity available for
+  // prefetching (free space plus the reserved fetch buffer).
+  const std::uint64_t available = store_->FreeBytes(Tier::kDram);
+  plan.window_len = static_cast<std::size_t>(available / avg_session_kv_bytes);
+  const std::size_t window = std::min(plan.window_len, upcoming.size());
+  std::uint64_t planned_bytes = 0;
+  for (std::size_t i = 0; i < window; ++i) {
+    const SessionId session = upcoming[i];
+    if (store_->Lookup(session) != Tier::kDisk) {
+      continue;
+    }
+    const auto info = store_->GetInfo(session);
+    CA_CHECK(info.has_value());
+    if (planned_bytes + info->bytes > available) {
+      break;  // window shrinks to what actually fits
+    }
+    planned_bytes += info->bytes;
+    plan.to_fetch.push_back(session);
+  }
+  return plan;
+}
+
+std::size_t Prefetcher::Execute(const PrefetchPlan& plan, SimTime now,
+                                const SchedulerHints& hints) {
+  std::size_t promoted = 0;
+  for (const SessionId session : plan.to_fetch) {
+    if (store_->Promote(session, now, hints).ok()) {
+      ++promoted;
+    }
+  }
+  return promoted;
+}
+
+SchedulerHints BuildHints(std::span<const SessionId> upcoming, std::size_t window_len) {
+  SchedulerHints hints;
+  const std::size_t n = std::min(window_len, upcoming.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    // Keep the *earliest* queue position for sessions with several waiting
+    // jobs.
+    hints.next_use_index.emplace(upcoming[i], i);
+  }
+  return hints;
+}
+
+std::size_t EvictionWindowLength(const AttentionStore& store,
+                                 std::uint64_t avg_session_kv_bytes) {
+  if (avg_session_kv_bytes == 0) {
+    return 0;
+  }
+  const std::uint64_t total =
+      store.CapacityBytes(Tier::kDram) + store.CapacityBytes(Tier::kDisk);
+  return static_cast<std::size_t>(total / avg_session_kv_bytes);
+}
+
+}  // namespace ca

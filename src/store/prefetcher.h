@@ -1,0 +1,56 @@
+// Scheduler-aware KV cache fetching (§3.3.1).
+//
+// The prefetcher inspects the waiting jobs inside a look-ahead prefetching
+// window whose length is bounded by the DRAM capacity available for
+// prefetching: L_pw = C_mem / S_kv (paper formula). Disk-resident sessions
+// inside the window are planned for promotion to DRAM; executing a plan item
+// is left to the caller (the simulator charges SSD transfer time first; the
+// real engine copies the bytes through the store).
+#ifndef CA_STORE_PREFETCHER_H_
+#define CA_STORE_PREFETCHER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/store/attention_store.h"
+#include "src/store/types.h"
+
+namespace ca {
+
+struct PrefetchPlan {
+  // Sessions to fetch disk -> DRAM, in queue order.
+  std::vector<SessionId> to_fetch;
+  // Window length that was applied.
+  std::size_t window_len = 0;
+};
+
+class Prefetcher {
+ public:
+  explicit Prefetcher(AttentionStore* store) : store_(store) {}
+
+  // Builds a plan for the given queue snapshot (session of each waiting job,
+  // head first). `avg_session_kv_bytes` is S_kv, the running average KV size
+  // of a session; it sizes the look-ahead window.
+  PrefetchPlan Plan(std::span<const SessionId> upcoming, std::uint64_t avg_session_kv_bytes) const;
+
+  // Executes a plan synchronously through the store (real-execution mode).
+  // Returns the number of sessions successfully promoted.
+  std::size_t Execute(const PrefetchPlan& plan, SimTime now, const SchedulerHints& hints);
+
+ private:
+  AttentionStore* store_;
+};
+
+// Builds SchedulerHints from a queue snapshot: for every session, the index
+// of its first waiting job, truncated to `window_len` entries (the
+// look-ahead *eviction* window of §3.3.2, sized (C_mem + C_disk) / S_kv).
+SchedulerHints BuildHints(std::span<const SessionId> upcoming, std::size_t window_len);
+
+// Paper formula for the eviction window length.
+std::size_t EvictionWindowLength(const AttentionStore& store,
+                                 std::uint64_t avg_session_kv_bytes);
+
+}  // namespace ca
+
+#endif  // CA_STORE_PREFETCHER_H_

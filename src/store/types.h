@@ -1,0 +1,78 @@
+// Shared vocabulary types for AttentionStore.
+#ifndef CA_STORE_TYPES_H_
+#define CA_STORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace ca {
+
+using SessionId = std::uint64_t;
+inline constexpr SessionId kInvalidSession = std::numeric_limits<SessionId>::max();
+
+// Storage hierarchy, fastest first. kNone means "not cached anywhere".
+enum class Tier : std::uint8_t { kHbm = 0, kDram = 1, kDisk = 2, kNone = 3 };
+
+inline constexpr std::size_t kNumTiers = 3;
+
+std::string_view TierName(Tier tier);
+
+// Scheduler hints: for each session with a waiting job, the queue position
+// of its *next* use. Sessions absent from the map have no visible future
+// use (the scheduler-aware policies treat them as the best eviction
+// candidates, mirroring Belady within the look-ahead window).
+struct SchedulerHints {
+  std::unordered_map<SessionId, std::size_t> next_use_index;
+
+  static constexpr std::size_t kNoFutureUse = std::numeric_limits<std::size_t>::max();
+
+  std::size_t NextUse(SessionId session) const {
+    const auto it = next_use_index.find(session);
+    return it == next_use_index.end() ? kNoFutureUse : it->second;
+  }
+  bool InWindow(SessionId session) const {
+    return next_use_index.find(session) != next_use_index.end();
+  }
+};
+
+// Aggregate store statistics. A "lookup" is one per conversation turn; hits
+// split by the tier the KV cache was found in (§4.3.3 reports DRAM vs disk
+// hit rates separately).
+struct StoreStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hbm_hits = 0;
+  std::uint64_t dram_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t misses = 0;
+
+  std::uint64_t inserts = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t demotions = 0;       // moved to a slower tier
+  std::uint64_t promotions = 0;      // prefetched to a faster tier
+  std::uint64_t evictions_out = 0;   // dropped from the system entirely
+  std::uint64_t ttl_expirations = 0;
+
+  std::uint64_t bytes_demoted = 0;
+  std::uint64_t bytes_promoted = 0;
+
+  std::uint64_t hits() const { return hbm_hits + dram_hits + disk_hits; }
+  double hit_rate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits()) / static_cast<double>(lookups);
+  }
+  double dram_hit_rate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hbm_hits + dram_hits) / static_cast<double>(lookups);
+  }
+  double disk_hit_rate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(disk_hits) / static_cast<double>(lookups);
+  }
+};
+
+}  // namespace ca
+
+#endif  // CA_STORE_TYPES_H_

@@ -1,0 +1,167 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace ca {
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor& out) {
+  CA_CHECK_EQ(a.rank(), 2U);
+  CA_CHECK_EQ(b.rank(), 2U);
+  CA_CHECK_EQ(out.rank(), 2U);
+  const std::size_t m = a.dim(0);
+  const std::size_t k = a.dim(1);
+  const std::size_t n = b.dim(1);
+  CA_CHECK_EQ(b.dim(0), k);
+  CA_CHECK_EQ(out.dim(0), m);
+  CA_CHECK_EQ(out.dim(1), n);
+  out.Fill(0.0f);
+  // ikj loop order: streams through b and out rows; adequate for the model
+  // sizes used here (d_model <= 512).
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* brow = b.row(kk);
+      for (std::size_t j = 0; j < n; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void MatMulTransposedB(const Tensor& a, const Tensor& b, Tensor& out) {
+  CA_CHECK_EQ(a.rank(), 2U);
+  CA_CHECK_EQ(b.rank(), 2U);
+  CA_CHECK_EQ(out.rank(), 2U);
+  const std::size_t m = a.dim(0);
+  const std::size_t k = a.dim(1);
+  const std::size_t n = b.dim(0);
+  CA_CHECK_EQ(b.dim(1), k);
+  CA_CHECK_EQ(out.dim(0), m);
+  CA_CHECK_EQ(out.dim(1), n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      orow[j] = Dot({arow, k}, {b.row(j), k});
+    }
+  }
+}
+
+void SoftmaxRow(std::span<float> row) {
+  float max_v = -INFINITY;
+  for (const float v : row) {
+    max_v = std::max(max_v, v);
+  }
+  float sum = 0.0f;
+  for (float& v : row) {
+    v = std::exp(v - max_v);
+    sum += v;
+  }
+  const float inv = 1.0f / sum;
+  for (float& v : row) {
+    v *= inv;
+  }
+}
+
+void SoftmaxRows(Tensor& t) {
+  CA_CHECK_EQ(t.rank(), 2U);
+  const std::size_t rows = t.dim(0);
+  const std::size_t cols = t.dim(1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    SoftmaxRow({t.row(r), cols});
+  }
+}
+
+void RmsNormRows(const Tensor& x, std::span<const float> weight, Tensor& out, float eps) {
+  CA_CHECK_EQ(x.rank(), 2U);
+  const std::size_t rows = x.dim(0);
+  const std::size_t cols = x.dim(1);
+  CA_CHECK_EQ(weight.size(), cols);
+  CA_CHECK_EQ(out.dim(0), rows);
+  CA_CHECK_EQ(out.dim(1), cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* in = x.row(r);
+    float* o = out.row(r);
+    float ss = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      ss += in[c] * in[c];
+    }
+    const float inv_rms = 1.0f / std::sqrt(ss / static_cast<float>(cols) + eps);
+    for (std::size_t c = 0; c < cols; ++c) {
+      o[c] = in[c] * inv_rms * weight[c];
+    }
+  }
+}
+
+void SiluInPlace(Tensor& t) {
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    const float x = t[i];
+    t[i] = x / (1.0f + std::exp(-x));
+  }
+}
+
+void Add(const Tensor& a, const Tensor& b, Tensor& out) {
+  CA_CHECK_EQ(a.numel(), b.numel());
+  CA_CHECK_EQ(a.numel(), out.numel());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    po[i] = pa[i] + pb[i];
+  }
+}
+
+void AddInPlace(Tensor& a, const Tensor& b) {
+  CA_CHECK_EQ(a.numel(), b.numel());
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    pa[i] += pb[i];
+  }
+}
+
+void MulInPlace(Tensor& a, const Tensor& b) {
+  CA_CHECK_EQ(a.numel(), b.numel());
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    pa[i] *= pb[i];
+  }
+}
+
+float Dot(std::span<const float> a, std::span<const float> b) {
+  CA_CHECK_EQ(a.size(), b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  CA_CHECK_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+float LogSumExp(std::span<const float> row) {
+  float max_v = -INFINITY;
+  for (const float v : row) {
+    max_v = std::max(max_v, v);
+  }
+  float sum = 0.0f;
+  for (const float v : row) {
+    sum += std::exp(v - max_v);
+  }
+  return max_v + std::log(sum);
+}
+
+}  // namespace ca

@@ -1,0 +1,52 @@
+// Dense kernels for the model executor: matmul, softmax, rmsnorm, silu,
+// elementwise ops. All operate on fp32 row-major tensors.
+#ifndef CA_TENSOR_OPS_H_
+#define CA_TENSOR_OPS_H_
+
+#include <cstddef>
+#include <span>
+
+#include "src/tensor/tensor.h"
+
+namespace ca {
+
+// out[m,n] = a[m,k] @ b[k,n]. out must be preallocated and distinct from
+// both inputs.
+void MatMul(const Tensor& a, const Tensor& b, Tensor& out);
+
+// out[m,n] = a[m,k] @ b[n,k]^T  (b given row-major as [n,k]; this is the
+// layout of projection weight matrices and of K against Q).
+void MatMulTransposedB(const Tensor& a, const Tensor& b, Tensor& out);
+
+// In-place numerically-stable softmax over the last dimension of a 2-D
+// tensor (each row independently).
+void SoftmaxRows(Tensor& t);
+
+// In-place softmax of a single contiguous row.
+void SoftmaxRow(std::span<float> row);
+
+// RMSNorm: out[i] = x[i] / rms(x) * weight[i] over the last dim of each row.
+void RmsNormRows(const Tensor& x, std::span<const float> weight, Tensor& out, float eps = 1e-5f);
+
+// SiLU (x * sigmoid(x)), elementwise in place.
+void SiluInPlace(Tensor& t);
+
+// out = a + b elementwise.
+void Add(const Tensor& a, const Tensor& b, Tensor& out);
+// a += b elementwise.
+void AddInPlace(Tensor& a, const Tensor& b);
+// a *= b elementwise.
+void MulInPlace(Tensor& a, const Tensor& b);
+
+// Dot product of two length-n float spans.
+float Dot(std::span<const float> a, std::span<const float> b);
+
+// y += alpha * x.
+void Axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+// log(sum(exp(row))) for a contiguous row, numerically stable.
+float LogSumExp(std::span<const float> row);
+
+}  // namespace ca
+
+#endif  // CA_TENSOR_OPS_H_

@@ -1,0 +1,97 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace ca {
+
+void Tensor::SetShape(const std::vector<std::size_t>& shape) {
+  CA_CHECK_LE(shape.size(), kMaxRank);
+  CA_CHECK_GT(shape.size(), 0U);
+  rank_ = shape.size();
+  numel_ = 1;
+  for (std::size_t i = 0; i < rank_; ++i) {
+    shape_[i] = shape[i];
+    numel_ *= shape[i];
+  }
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape) {
+  SetShape(shape);
+  storage_ = std::shared_ptr<float[]>(new float[numel_]());
+  data_ = storage_.get();
+}
+
+Tensor Tensor::Randn(std::vector<std::size_t> shape, Rng& rng, float scale) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel_; ++i) {
+    t.data_[i] = static_cast<float>(rng.NextGaussian()) * scale;
+  }
+  return t;
+}
+
+Tensor Tensor::View(float* data, std::vector<std::size_t> shape) {
+  Tensor t;
+  t.SetShape(shape);
+  t.data_ = data;
+  return t;
+}
+
+Tensor Tensor::ConstView(const float* data, std::vector<std::size_t> shape) {
+  // The const_cast is contained: callers receiving a ConstView by const
+  // reference cannot mutate through it.
+  return View(const_cast<float*>(data), std::move(shape));
+}
+
+void Tensor::Fill(float v) { std::fill(data_, data_ + numel_, v); }
+
+void Tensor::CopyFrom(const Tensor& src) {
+  CA_CHECK_EQ(numel_, src.numel_);
+  std::memcpy(data_, src.data_, numel_ * sizeof(float));
+}
+
+Tensor Tensor::Clone() const {
+  std::vector<std::size_t> shape(shape_.begin(), shape_.begin() + rank_);
+  Tensor t(shape);
+  t.CopyFrom(*this);
+  return t;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (a.numel() != b.numel()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const float diff = std::fabs(a[i] - b[i]);
+    if (diff > atol + rtol * std::fabs(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  CA_CHECK_EQ(a.numel(), b.numel());
+  float max_diff = 0.0f;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a[i] - b[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace ca

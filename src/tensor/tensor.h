@@ -1,0 +1,115 @@
+// Minimal dense fp32 tensor used by the model executor.
+//
+// Intentionally small: row-major contiguous storage, up to 4 dimensions,
+// owning (heap) or non-owning (view) semantics. The model code addresses
+// tensors through typed helpers (at2/at3) rather than generic strides.
+#ifndef CA_TENSOR_TENSOR_H_
+#define CA_TENSOR_TENSOR_H_
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace ca {
+
+class Tensor {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Tensor() = default;
+
+  // Owning constructors; contents zero-initialised.
+  explicit Tensor(std::vector<std::size_t> shape);
+  static Tensor Zeros(std::vector<std::size_t> shape) { return Tensor(std::move(shape)); }
+  // Gaussian(0, scale) initialisation (model weight init).
+  static Tensor Randn(std::vector<std::size_t> shape, Rng& rng, float scale = 1.0f);
+
+  // Non-owning view over external storage. Caller guarantees lifetime.
+  static Tensor View(float* data, std::vector<std::size_t> shape);
+  static Tensor ConstView(const float* data, std::vector<std::size_t> shape);
+
+  std::size_t rank() const { return rank_; }
+  std::size_t dim(std::size_t i) const {
+    CA_CHECK_LT(i, rank_);
+    return shape_[i];
+  }
+  std::size_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  std::span<float> span() { return {data_, numel_}; }
+  std::span<const float> span() const { return {data_, numel_}; }
+
+  float& operator[](std::size_t i) {
+    CA_CHECK_LT(i, numel_);
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    CA_CHECK_LT(i, numel_);
+    return data_[i];
+  }
+
+  // 2-D indexing: (row, col).
+  float& at2(std::size_t r, std::size_t c) {
+    CA_CHECK_EQ(rank_, 2U);
+    return data_[r * shape_[1] + c];
+  }
+  float at2(std::size_t r, std::size_t c) const {
+    CA_CHECK_EQ(rank_, 2U);
+    return data_[r * shape_[1] + c];
+  }
+
+  // 3-D indexing: (i, j, k).
+  float& at3(std::size_t i, std::size_t j, std::size_t k) {
+    CA_CHECK_EQ(rank_, 3U);
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  float at3(std::size_t i, std::size_t j, std::size_t k) const {
+    CA_CHECK_EQ(rank_, 3U);
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+
+  // Pointer to row r of a 2-D tensor.
+  float* row(std::size_t r) {
+    CA_CHECK_EQ(rank_, 2U);
+    CA_CHECK_LT(r, shape_[0]);
+    return data_ + r * shape_[1];
+  }
+  const float* row(std::size_t r) const {
+    CA_CHECK_EQ(rank_, 2U);
+    CA_CHECK_LT(r, shape_[0]);
+    return data_ + r * shape_[1];
+  }
+
+  void Fill(float v);
+  void CopyFrom(const Tensor& src);
+  Tensor Clone() const;
+
+  std::string ShapeString() const;
+
+ private:
+  std::shared_ptr<float[]> storage_;  // null for views
+  float* data_ = nullptr;
+  std::array<std::size_t, kMaxRank> shape_ = {0, 0, 0, 0};
+  std::size_t rank_ = 0;
+  std::size_t numel_ = 0;
+
+  void SetShape(const std::vector<std::size_t>& shape);
+};
+
+// True iff every element differs by at most atol + rtol*|b|.
+bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-4f, float atol = 1e-5f);
+
+// Max absolute elementwise difference.
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+}  // namespace ca
+
+#endif  // CA_TENSOR_TENSOR_H_

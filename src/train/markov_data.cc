@@ -1,0 +1,94 @@
+#include "src/train/markov_data.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace ca {
+
+MarkovCorpus::MarkovCorpus(std::size_t vocab, std::size_t branching, std::uint64_t seed)
+    : vocab_(vocab), branching_(std::min(branching, vocab)) {
+  CA_CHECK_GE(vocab, 2U);
+  CA_CHECK_GE(branching_, 1U);
+  Rng rng(seed);
+  const std::size_t states = vocab_ * vocab_;
+  successors_.resize(states);
+  cum_probs_.resize(states);
+  for (std::size_t s = 0; s < states; ++s) {
+    // Pick `branching` distinct successors.
+    std::vector<TokenId>& succ = successors_[s];
+    while (succ.size() < branching_) {
+      const auto cand = static_cast<TokenId>(rng.NextBounded(vocab_));
+      if (std::find(succ.begin(), succ.end(), cand) == succ.end()) {
+        succ.push_back(cand);
+      }
+    }
+    // Zipf-ish weights 1/(k+1), normalised, accumulated.
+    std::vector<double>& cum = cum_probs_[s];
+    cum.resize(branching_);
+    double total = 0.0;
+    for (std::size_t k = 0; k < branching_; ++k) {
+      total += 1.0 / static_cast<double>(k + 1);
+    }
+    double acc = 0.0;
+    for (std::size_t k = 0; k < branching_; ++k) {
+      acc += 1.0 / static_cast<double>(k + 1) / total;
+      cum[k] = acc;
+    }
+    cum.back() = 1.0;
+  }
+}
+
+std::vector<TokenId> MarkovCorpus::Sample(std::size_t length, Rng& rng) const {
+  std::vector<TokenId> out;
+  out.reserve(length);
+  TokenId prev2 = static_cast<TokenId>(rng.NextBounded(vocab_));
+  TokenId prev1 = static_cast<TokenId>(rng.NextBounded(vocab_));
+  for (std::size_t i = 0; i < length; ++i) {
+    const std::size_t s = StateIndex(prev2, prev1);
+    const double u = rng.NextDouble();
+    const auto& cum = cum_probs_[s];
+    std::size_t k = 0;
+    while (k + 1 < cum.size() && u > cum[k]) {
+      ++k;
+    }
+    const TokenId next = successors_[s][k];
+    out.push_back(next);
+    prev2 = prev1;
+    prev1 = next;
+  }
+  return out;
+}
+
+double MarkovCorpus::TransitionProb(TokenId prev2, TokenId prev1, TokenId next) const {
+  const std::size_t s = StateIndex(prev2, prev1);
+  const auto& succ = successors_[s];
+  const auto& cum = cum_probs_[s];
+  for (std::size_t k = 0; k < succ.size(); ++k) {
+    if (succ[k] == next) {
+      return k == 0 ? cum[0] : cum[k] - cum[k - 1];
+    }
+  }
+  return 0.0;
+}
+
+double MarkovCorpus::EstimateEntropy(std::size_t sample_tokens, Rng& rng) const {
+  const std::vector<TokenId> seq = Sample(sample_tokens + 2, rng);
+  double nll = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 2; i < seq.size(); ++i) {
+    const double p = TransitionProb(seq[i - 2], seq[i - 1], seq[i]);
+    CA_CHECK_GT(p, 0.0);
+    nll -= std::log(p);
+    ++count;
+  }
+  return nll / static_cast<double>(count);
+}
+
+TokenId MarkovCorpus::BestNext(TokenId prev2, TokenId prev1) const {
+  // Weights are decreasing in k, so the first successor is the mode.
+  return successors_[StateIndex(prev2, prev1)][0];
+}
+
+}  // namespace ca

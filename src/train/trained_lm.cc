@@ -1,0 +1,75 @@
+#include "src/train/trained_lm.h"
+
+#include <cstdlib>
+
+#include "src/common/logging.h"
+#include "src/model/checkpoint.h"
+#include "src/train/trainer.h"
+
+namespace ca {
+
+namespace {
+
+// Trained weights are cached on disk so each process (test binary, bench
+// binary) does not retrain the same deterministic model. Delete the file to
+// force retraining.
+std::string CachePath() {
+  const char* override_path = std::getenv("CA_TRAINED_LM_CACHE");
+  return override_path != nullptr ? override_path : "/tmp/ca_trained_mini_lm_v1.ckpt";
+}
+
+ModelConfig CanonicalConfig() {
+  ModelConfig config;
+  config.name = "mini-trained";
+  config.vocab_size = 16;
+  config.d_model = 64;
+  config.n_layers = 2;
+  config.n_heads = 4;
+  config.n_kv_heads = 2;
+  config.d_ff = 128;
+  config.context_window = 128;
+  return config;
+}
+
+}  // namespace
+
+const TrainedLm& GetTrainedLm() {
+  static const TrainedLm* instance = [] {
+    const ModelConfig config = CanonicalConfig();
+    MarkovCorpus corpus(config.vocab_size, 4, 21);
+    Transformer model(config, 31);
+    const std::string cache = CachePath();
+    if (LoadCheckpoint(model, cache).ok()) {
+      // Re-measure the loss on held-out samples (the checkpoint stores only
+      // weights).
+      TrainConfig eval_config;
+      Trainer eval(&model, eval_config);
+      Rng rng(4096);
+      std::vector<std::vector<TokenId>> held_out;
+      for (int i = 0; i < 8; ++i) {
+        held_out.push_back(corpus.Sample(49, rng));
+      }
+      const double loss = eval.EvalLoss(held_out);
+      CA_LOG(Info) << "loaded canonical mini LM from " << cache << " (eval loss " << loss
+                   << ")";
+      return new TrainedLm{config, std::move(corpus), std::move(model), loss};
+    }
+    TrainConfig tc;
+    tc.steps = 350;
+    tc.batch_size = 8;
+    tc.seq_len = 48;
+    tc.lr = 3e-3f;
+    CA_LOG(Info) << "training canonical mini LM (" << tc.steps << " steps)...";
+    Trainer trainer(&model, tc);
+    const double loss = trainer.Train(corpus);
+    CA_LOG(Info) << "canonical mini LM trained; tail loss " << loss << " nats/token";
+    const Status saved = SaveCheckpoint(model, cache);
+    if (!saved.ok()) {
+      CA_LOG(Warn) << "could not cache trained weights: " << saved;
+    }
+    return new TrainedLm{config, std::move(corpus), std::move(model), loss};
+  }();
+  return *instance;
+}
+
+}  // namespace ca

@@ -1,0 +1,26 @@
+// Canonical trained mini language model shared by the fidelity tests and
+// the Table-1/2 benches. Trains once per process on first use (~20 s) on an
+// order-2 Markov corpus; see trainer.h for why a *trained* model is needed
+// to reproduce the paper's CA ~= TT >> NKVT result.
+#ifndef CA_TRAIN_TRAINED_LM_H_
+#define CA_TRAIN_TRAINED_LM_H_
+
+#include "src/model/transformer.h"
+#include "src/train/markov_data.h"
+
+namespace ca {
+
+struct TrainedLm {
+  ModelConfig config;
+  MarkovCorpus corpus;
+  Transformer model;
+  double train_loss = 0.0;  // tail-mean training loss (nats/token)
+};
+
+// The canonical setup: vocab 16, d_model 64, 2 layers, GQA 2, context 128;
+// Markov(branching 4). Deterministic.
+const TrainedLm& GetTrainedLm();
+
+}  // namespace ca
+
+#endif  // CA_TRAIN_TRAINED_LM_H_

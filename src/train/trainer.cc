@@ -1,0 +1,494 @@
+#include "src/train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/tensor/ops.h"
+
+namespace ca {
+
+namespace {
+
+// dW += dy^T @ x for y = x W^T (W is [out, in], x is [T, in], dy is [T, out]).
+void AccumulateWeightGrad(const Tensor& dy, const Tensor& x, Tensor& dw) {
+  const std::size_t t_len = x.dim(0);
+  const std::size_t in = x.dim(1);
+  const std::size_t out = dy.dim(1);
+  CA_CHECK_EQ(dy.dim(0), t_len);
+  CA_CHECK_EQ(dw.dim(0), out);
+  CA_CHECK_EQ(dw.dim(1), in);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const float* dyr = dy.row(t);
+    const float* xr = x.row(t);
+    for (std::size_t o = 0; o < out; ++o) {
+      const float d = dyr[o];
+      if (d == 0.0f) {
+        continue;
+      }
+      float* dwr = dw.row(o);
+      for (std::size_t i = 0; i < in; ++i) {
+        dwr[i] += d * xr[i];
+      }
+    }
+  }
+}
+
+// Forward rmsnorm that also returns the per-row inverse RMS.
+void RmsNormForward(const Tensor& x, std::span<const float> w, Tensor& out,
+                    std::vector<float>& inv_rms, float eps = 1e-5f) {
+  const std::size_t rows = x.dim(0);
+  const std::size_t cols = x.dim(1);
+  inv_rms.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* in = x.row(r);
+    float ss = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      ss += in[c] * in[c];
+    }
+    const float ir = 1.0f / std::sqrt(ss / static_cast<float>(cols) + eps);
+    inv_rms[r] = ir;
+    float* o = out.row(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      o[c] = in[c] * ir * w[c];
+    }
+  }
+}
+
+// Backward of y = rmsnorm(x) * w:
+//   dx_j += ir * w_j * dy_j - ir^3 / n * x_j * sum_i(dy_i * w_i * x_i)
+//   dw_j += dy_j * x_j * ir
+void RmsNormBackward(const Tensor& x, std::span<const float> w, const std::vector<float>& inv_rms,
+                     const Tensor& dy, Tensor& dx, Tensor& dw) {
+  const std::size_t rows = x.dim(0);
+  const std::size_t cols = x.dim(1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* xr = x.row(r);
+    const float* dyr = dy.row(r);
+    float* dxr = dx.row(r);
+    float* dwr = dw.data();
+    const float ir = inv_rms[r];
+    float s = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      s += dyr[c] * w[c] * xr[c];
+    }
+    const float k = ir * ir * ir * s / static_cast<float>(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      dxr[c] += ir * w[c] * dyr[c] - k * xr[c];
+      dwr[c] += dyr[c] * xr[c] * ir;
+    }
+  }
+}
+
+}  // namespace
+
+Trainer::Trainer(Transformer* model, TrainConfig config)
+    : model_(model), config_(config), batch_rng_(config.data_seed) {
+  CA_CHECK(model != nullptr);
+  const ModelConfig& mc = model_->config();
+  g_embedding_ = Tensor({mc.vocab_size, mc.d_model});
+  g_lm_head_ = Tensor({mc.vocab_size, mc.d_model});
+  g_rms_final_ = Tensor({mc.d_model});
+  g_layers_.resize(mc.n_layers);
+  for (auto& g : g_layers_) {
+    g.rms_att = Tensor({mc.d_model});
+    g.wq = Tensor({mc.q_dim(), mc.d_model});
+    g.wk = Tensor({mc.kv_dim(), mc.d_model});
+    g.wv = Tensor({mc.kv_dim(), mc.d_model});
+    g.wo = Tensor({mc.d_model, mc.q_dim()});
+    g.rms_ffn = Tensor({mc.d_model});
+    g.w1 = Tensor({mc.d_ff, mc.d_model});
+    g.w2 = Tensor({mc.d_model, mc.d_ff});
+    g.w3 = Tensor({mc.d_ff, mc.d_model});
+  }
+  for (Tensor* p : Parameters()) {
+    std::vector<std::size_t> shape;
+    for (std::size_t i = 0; i < p->rank(); ++i) {
+      shape.push_back(p->dim(i));
+    }
+    adam_m_.emplace_back(shape);
+    adam_v_.emplace_back(shape);
+  }
+}
+
+std::vector<Tensor*> Trainer::Parameters() {
+  std::vector<Tensor*> out = {&model_->mutable_embedding(), &model_->mutable_lm_head(),
+                              &model_->mutable_rms_final()};
+  for (std::size_t l = 0; l < model_->config().n_layers; ++l) {
+    LayerWeights& w = model_->mutable_layer(l);
+    out.push_back(&w.rms_att);
+    out.push_back(&w.wq);
+    out.push_back(&w.wk);
+    out.push_back(&w.wv);
+    out.push_back(&w.wo);
+    out.push_back(&w.rms_ffn);
+    out.push_back(&w.w1);
+    out.push_back(&w.w2);
+    out.push_back(&w.w3);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Trainer::Gradients() {
+  std::vector<Tensor*> out = {&g_embedding_, &g_lm_head_, &g_rms_final_};
+  for (auto& g : g_layers_) {
+    out.push_back(&g.rms_att);
+    out.push_back(&g.wq);
+    out.push_back(&g.wk);
+    out.push_back(&g.wv);
+    out.push_back(&g.wo);
+    out.push_back(&g.rms_ffn);
+    out.push_back(&g.w1);
+    out.push_back(&g.w2);
+    out.push_back(&g.w3);
+  }
+  return out;
+}
+
+void Trainer::ZeroGrads() {
+  for (Tensor* g : Gradients()) {
+    g->Fill(0.0f);
+  }
+}
+
+double Trainer::ForwardBackward(std::span<const TokenId> seq) {
+  const ModelConfig& mc = model_->config();
+  CA_CHECK_GE(seq.size(), 2U);
+  const std::size_t t_len = seq.size() - 1;  // positions with a target
+  const std::size_t d = mc.d_model;
+  const std::size_t qd = mc.q_dim();
+  const std::size_t kd = mc.kv_dim();
+  const std::size_t hd = mc.head_dim();
+  const std::size_t n_heads = mc.n_heads;
+  const std::size_t group = mc.gqa_group();
+  const float inv_sqrt_hd = 1.0f / std::sqrt(static_cast<float>(hd));
+  const RopeTable& rope = model_->rope();
+
+  // --- forward with tape -------------------------------------------------
+  struct LayerTape {
+    Tensor a_in;            // [T, d] input to attention block
+    Tensor att_xn;          // [T, d]
+    std::vector<float> att_ir;
+    Tensor q_r, k_r, v;     // [T, qd] / [T, kd] / [T, kd] (q,k post-rope)
+    Tensor probs;           // [H, T, T] causal attention weights
+    Tensor attn_o;          // [T, qd] concatenated head outputs
+    Tensor f_in;            // [T, d] input to FFN block
+    Tensor ffn_xn;          // [T, d]
+    std::vector<float> ffn_ir;
+    Tensor g, u, h_act;     // [T, d_ff]
+  };
+  std::vector<LayerTape> tape(mc.n_layers);
+
+  Tensor x({t_len, d});
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const auto id = static_cast<std::size_t>(seq[t]);
+    CA_CHECK_LT(id, mc.vocab_size);
+    std::memcpy(x.row(t), model_->embedding().row(id), d * sizeof(float));
+  }
+
+  for (std::size_t l = 0; l < mc.n_layers; ++l) {
+    LayerTape& tp = tape[l];
+    const LayerWeights& w = model_->layer(l);
+    tp.a_in = x.Clone();
+    tp.att_xn = Tensor({t_len, d});
+    RmsNormForward(tp.a_in, w.rms_att.span(), tp.att_xn, tp.att_ir);
+
+    tp.q_r = Tensor({t_len, qd});
+    tp.k_r = Tensor({t_len, kd});
+    tp.v = Tensor({t_len, kd});
+    MatMulTransposedB(tp.att_xn, w.wq, tp.q_r);
+    MatMulTransposedB(tp.att_xn, w.wk, tp.k_r);
+    MatMulTransposedB(tp.att_xn, w.wv, tp.v);
+    for (std::size_t t = 0; t < t_len; ++t) {
+      rope.ApplyAllHeads({tp.q_r.row(t), qd}, t);
+      rope.ApplyAllHeads({tp.k_r.row(t), kd}, t);
+    }
+
+    tp.probs = Tensor({n_heads, t_len, t_len});
+    tp.attn_o = Tensor({t_len, qd});
+    std::vector<float> scores(t_len);
+    for (std::size_t h = 0; h < n_heads; ++h) {
+      const std::size_t kvh = h / group;
+      for (std::size_t t = 0; t < t_len; ++t) {
+        const std::span<const float> qh{tp.q_r.row(t) + h * hd, hd};
+        for (std::size_t j = 0; j <= t; ++j) {
+          scores[j] = Dot(qh, {tp.k_r.row(j) + kvh * hd, hd}) * inv_sqrt_hd;
+        }
+        SoftmaxRow({scores.data(), t + 1});
+        float* prow = &tp.probs.at3(h, t, 0);
+        std::memcpy(prow, scores.data(), (t + 1) * sizeof(float));
+        const std::span<float> oh{tp.attn_o.row(t) + h * hd, hd};
+        for (std::size_t j = 0; j <= t; ++j) {
+          Axpy(prow[j], {tp.v.row(j) + kvh * hd, hd}, oh);
+        }
+      }
+    }
+
+    Tensor attn_proj({t_len, d});
+    MatMulTransposedB(tp.attn_o, w.wo, attn_proj);
+    AddInPlace(x, attn_proj);
+
+    tp.f_in = x.Clone();
+    tp.ffn_xn = Tensor({t_len, d});
+    RmsNormForward(tp.f_in, w.rms_ffn.span(), tp.ffn_xn, tp.ffn_ir);
+    tp.g = Tensor({t_len, mc.d_ff});
+    tp.u = Tensor({t_len, mc.d_ff});
+    MatMulTransposedB(tp.ffn_xn, w.w1, tp.g);
+    MatMulTransposedB(tp.ffn_xn, w.w3, tp.u);
+    tp.h_act = tp.g.Clone();
+    SiluInPlace(tp.h_act);
+    MulInPlace(tp.h_act, tp.u);
+    Tensor down({t_len, d});
+    MatMulTransposedB(tp.h_act, w.w2, down);
+    AddInPlace(x, down);
+  }
+
+  Tensor final_xn({t_len, d});
+  std::vector<float> final_ir;
+  RmsNormForward(x, model_->rms_final().span(), final_xn, final_ir);
+  Tensor logits({t_len, mc.vocab_size});
+  MatMulTransposedB(final_xn, model_->lm_head(), logits);
+
+  // Softmax + cross-entropy; dlogits = p - onehot.
+  double loss = 0.0;
+  Tensor dlogits({t_len, mc.vocab_size});
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const std::span<const float> row{logits.row(t), mc.vocab_size};
+    const float lse = LogSumExp(row);
+    const auto target = static_cast<std::size_t>(seq[t + 1]);
+    CA_CHECK_LT(target, mc.vocab_size);
+    loss += lse - row[target];
+    float* dr = dlogits.row(t);
+    for (std::size_t v2 = 0; v2 < mc.vocab_size; ++v2) {
+      dr[v2] = std::exp(row[v2] - lse);
+    }
+    dr[target] -= 1.0f;
+  }
+
+  // --- backward ----------------------------------------------------------
+  // lm head: logits = final_xn @ lm_head^T.
+  Tensor d_final_xn({t_len, d});
+  MatMul(dlogits, model_->lm_head(), d_final_xn);
+  AccumulateWeightGrad(dlogits, final_xn, g_lm_head_);
+
+  Tensor dx({t_len, d});
+  {
+    Tensor d_rms_w({d});
+    RmsNormBackward(x, model_->rms_final().span(), final_ir, d_final_xn, dx, d_rms_w);
+    AddInPlace(g_rms_final_, d_rms_w);
+  }
+
+  for (std::size_t li = mc.n_layers; li > 0; --li) {
+    const std::size_t l = li - 1;
+    LayerTape& tp = tape[l];
+    const LayerWeights& w = model_->layer(l);
+    LayerGrads& g = g_layers_[l];
+
+    // FFN block: x_out = f_in + (silu(g)*u) @ w2^T.
+    Tensor d_h(
+        {t_len, mc.d_ff});
+    MatMul(dx, w.w2, d_h);  // d(h_act)
+    AccumulateWeightGrad(dx, tp.h_act, g.w2);
+    // h_act = silu(g) * u.
+    Tensor d_g({t_len, mc.d_ff});
+    Tensor d_u({t_len, mc.d_ff});
+    for (std::size_t i = 0; i < d_h.numel(); ++i) {
+      const float gv = tp.g[i];
+      const float sig = 1.0f / (1.0f + std::exp(-gv));
+      const float silu = gv * sig;
+      d_u[i] = d_h[i] * silu;
+      d_g[i] = d_h[i] * tp.u[i] * (sig * (1.0f + gv * (1.0f - sig)));
+    }
+    Tensor d_ffn_xn({t_len, d});
+    MatMul(d_g, w.w1, d_ffn_xn);
+    AccumulateWeightGrad(d_g, tp.ffn_xn, g.w1);
+    {
+      Tensor tmp({t_len, d});
+      MatMul(d_u, w.w3, tmp);
+      AddInPlace(d_ffn_xn, tmp);
+    }
+    AccumulateWeightGrad(d_u, tp.ffn_xn, g.w3);
+    // Residual: d(f_in) = dx (pass-through) + rmsnorm backward of d_ffn_xn.
+    Tensor d_f_in = dx.Clone();
+    {
+      Tensor d_rms_w({d});
+      RmsNormBackward(tp.f_in, w.rms_ffn.span(), tp.ffn_ir, d_ffn_xn, d_f_in, d_rms_w);
+      AddInPlace(g.rms_ffn, d_rms_w);
+    }
+
+    // Attention block: f_in = a_in + attn_o @ wo^T.
+    Tensor d_attn_o({t_len, qd});
+    MatMul(d_f_in, w.wo, d_attn_o);
+    AccumulateWeightGrad(d_f_in, tp.attn_o, g.wo);
+
+    Tensor d_q_r({t_len, qd});
+    Tensor d_k_r({t_len, kd});
+    Tensor d_v({t_len, kd});
+    std::vector<float> dp(t_len);
+    std::vector<float> ds(t_len);
+    for (std::size_t h = 0; h < n_heads; ++h) {
+      const std::size_t kvh = h / group;
+      for (std::size_t t = 0; t < t_len; ++t) {
+        const float* prow = &tp.probs.at3(h, t, 0);
+        const std::span<const float> doh{d_attn_o.row(t) + h * hd, hd};
+        // dp and dv.
+        for (std::size_t j = 0; j <= t; ++j) {
+          dp[j] = Dot(doh, {tp.v.row(j) + kvh * hd, hd});
+          Axpy(prow[j], doh, {d_v.row(j) + kvh * hd, hd});
+        }
+        // Softmax backward.
+        float dot_pp = 0.0f;
+        for (std::size_t j = 0; j <= t; ++j) {
+          dot_pp += prow[j] * dp[j];
+        }
+        for (std::size_t j = 0; j <= t; ++j) {
+          ds[j] = prow[j] * (dp[j] - dot_pp) * inv_sqrt_hd;
+        }
+        // Score backward into q_r / k_r.
+        const std::span<const float> qh{tp.q_r.row(t) + h * hd, hd};
+        const std::span<float> dqh{d_q_r.row(t) + h * hd, hd};
+        for (std::size_t j = 0; j <= t; ++j) {
+          Axpy(ds[j], {tp.k_r.row(j) + kvh * hd, hd}, dqh);
+          Axpy(ds[j], qh, {d_k_r.row(j) + kvh * hd, hd});
+        }
+      }
+    }
+    // RoPE backward: rotation is orthonormal, so the gradient maps back
+    // through the inverse rotation.
+    for (std::size_t t = 0; t < t_len; ++t) {
+      for (std::size_t off = 0; off < qd; off += hd) {
+        rope.ApplyInverse({d_q_r.row(t) + off, hd}, t);
+      }
+      for (std::size_t off = 0; off < kd; off += hd) {
+        rope.ApplyInverse({d_k_r.row(t) + off, hd}, t);
+      }
+    }
+
+    Tensor d_att_xn({t_len, d});
+    MatMul(d_q_r, w.wq, d_att_xn);
+    AccumulateWeightGrad(d_q_r, tp.att_xn, g.wq);
+    {
+      Tensor tmp({t_len, d});
+      MatMul(d_k_r, w.wk, tmp);
+      AddInPlace(d_att_xn, tmp);
+      MatMul(d_v, w.wv, tmp);
+      AddInPlace(d_att_xn, tmp);
+    }
+    AccumulateWeightGrad(d_k_r, tp.att_xn, g.wk);
+    AccumulateWeightGrad(d_v, tp.att_xn, g.wv);
+
+    Tensor d_a_in = d_f_in.Clone();
+    {
+      Tensor d_rms_w({d});
+      RmsNormBackward(tp.a_in, w.rms_att.span(), tp.att_ir, d_att_xn, d_a_in, d_rms_w);
+      AddInPlace(g.rms_att, d_rms_w);
+    }
+    dx = std::move(d_a_in);
+  }
+
+  // Embedding gradient.
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const auto id = static_cast<std::size_t>(seq[t]);
+    Axpy(1.0f, {dx.row(t), d}, {g_embedding_.row(id), d});
+  }
+
+  return loss;
+}
+
+void Trainer::AdamUpdate(double scale) {
+  const auto params = Parameters();
+  const auto grads = Gradients();
+  // Scale gradients to the mean and clip by global norm.
+  double norm_sq = 0.0;
+  for (Tensor* g : grads) {
+    for (std::size_t i = 0; i < g->numel(); ++i) {
+      (*g)[i] = static_cast<float>((*g)[i] * scale);
+      norm_sq += static_cast<double>((*g)[i]) * (*g)[i];
+    }
+  }
+  float clip_factor = 1.0f;
+  if (config_.grad_clip > 0.0f) {
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.grad_clip) {
+      clip_factor = static_cast<float>(config_.grad_clip / norm);
+    }
+  }
+
+  ++adam_t_;
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(adam_t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(adam_t_));
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Tensor& w = *params[p];
+    Tensor& g = *grads[p];
+    Tensor& m = adam_m_[p];
+    Tensor& v = adam_v_[p];
+    for (std::size_t i = 0; i < w.numel(); ++i) {
+      const float gi = g[i] * clip_factor;
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * gi;
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * gi * gi;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.adam_eps);
+    }
+  }
+}
+
+double Trainer::Step(const std::vector<std::vector<TokenId>>& batch) {
+  CA_CHECK(!batch.empty());
+  ZeroGrads();
+  double loss = 0.0;
+  std::size_t tokens = 0;
+  for (const auto& seq : batch) {
+    loss += ForwardBackward(seq);
+    tokens += seq.size() - 1;
+  }
+  AdamUpdate(1.0 / static_cast<double>(tokens));
+  return loss / static_cast<double>(tokens);
+}
+
+double Trainer::EvalLoss(const std::vector<std::vector<TokenId>>& batch) {
+  double loss = 0.0;
+  std::size_t tokens = 0;
+  for (const auto& seq : batch) {
+    CA_CHECK_GE(seq.size(), 2U);
+    KvCache cache = model_->MakeCache(PeMode::kDecoupled);
+    const Tensor logits = model_->Forward(std::span<const TokenId>(seq.data(), seq.size() - 1),
+                                          cache);
+    for (std::size_t t = 0; t + 1 < seq.size(); ++t) {
+      const std::span<const float> row{logits.row(t), model_->config().vocab_size};
+      loss += LogSumExp(row) - row[static_cast<std::size_t>(seq[t + 1])];
+    }
+    tokens += seq.size() - 1;
+  }
+  return loss / static_cast<double>(tokens);
+}
+
+double Trainer::Train(const MarkovCorpus& corpus) {
+  double tail_loss = 0.0;
+  std::size_t tail_steps = 0;
+  const std::size_t tail_start = config_.steps - std::max<std::size_t>(1, config_.steps / 10);
+  for (std::size_t step = 0; step < config_.steps; ++step) {
+    std::vector<std::vector<TokenId>> batch;
+    batch.reserve(config_.batch_size);
+    for (std::size_t b = 0; b < config_.batch_size; ++b) {
+      batch.push_back(corpus.Sample(config_.seq_len + 1, batch_rng_));
+    }
+    const double loss = Step(batch);
+    if (step >= tail_start) {
+      tail_loss += loss;
+      ++tail_steps;
+    }
+  }
+  return tail_loss / static_cast<double>(tail_steps);
+}
+
+Transformer TrainMiniLm(const ModelConfig& config, const MarkovCorpus& corpus,
+                        const TrainConfig& train_config, std::uint64_t weight_seed) {
+  Transformer model(config, weight_seed);
+  Trainer trainer(&model, train_config);
+  (void)trainer.Train(corpus);
+  return model;
+}
+
+}  // namespace ca

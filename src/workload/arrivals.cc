@@ -1,0 +1,28 @@
+#include "src/workload/arrivals.h"
+
+#include "src/common/check.h"
+
+namespace ca {
+
+PoissonArrivals::PoissonArrivals(double rate_per_second, std::uint64_t seed)
+    : rate_(rate_per_second), rng_(seed) {
+  CA_CHECK_GT(rate_per_second, 0.0);
+}
+
+SimTime PoissonArrivals::Next(SimTime now) {
+  const double gap_s = rng_.NextExponential(rate_);
+  const SimTime gap = FromSeconds(gap_s);
+  return now + (gap > 0 ? gap : 1);
+}
+
+void AssignArrivals(std::vector<SessionTrace>& sessions, double rate_per_second,
+                    std::uint64_t seed, SimTime start) {
+  PoissonArrivals arrivals(rate_per_second, seed);
+  SimTime t = start;
+  for (SessionTrace& s : sessions) {
+    t = arrivals.Next(t);
+    s.arrival = t;
+  }
+}
+
+}  // namespace ca

@@ -1,0 +1,37 @@
+// Session arrival process. The paper generates request arrival times from a
+// Poisson distribution (λ sessions per second, §4.1); exponential
+// inter-arrival gaps implement that here.
+#ifndef CA_WORKLOAD_ARRIVALS_H_
+#define CA_WORKLOAD_ARRIVALS_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/workload/sharegpt.h"
+
+namespace ca {
+
+class PoissonArrivals {
+ public:
+  // `rate_per_second` = λ, the expected number of new sessions per second.
+  PoissonArrivals(double rate_per_second, std::uint64_t seed);
+
+  // Next arrival timestamp strictly after `now`.
+  SimTime Next(SimTime now);
+
+  double rate_per_second() const { return rate_; }
+
+ private:
+  double rate_;
+  Rng rng_;
+};
+
+// Stamps each trace's first-turn arrival with consecutive Poisson arrivals
+// starting at `start`.
+void AssignArrivals(std::vector<SessionTrace>& sessions, double rate_per_second,
+                    std::uint64_t seed, SimTime start = 0);
+
+}  // namespace ca
+
+#endif  // CA_WORKLOAD_ARRIVALS_H_

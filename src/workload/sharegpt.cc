@@ -1,0 +1,107 @@
+#include "src/workload/sharegpt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace ca {
+
+ShareGptGenerator::ShareGptGenerator(ShareGptConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  CA_CHECK(config.single_turn_prob >= 0.0 && config.single_turn_prob <= 1.0);
+  CA_CHECK(config.extra_turn_geometric_p > 0.0 && config.extra_turn_geometric_p <= 1.0);
+}
+
+std::uint32_t ShareGptGenerator::SampleTurnCount(double verbosity) {
+  if (rng_.NextBool(config_.single_turn_prob)) {
+    return 1;
+  }
+  // 2 + Geometric(p) counting failures before the first success. Verbose
+  // sessions also run longer (turn count scales with e^verbosity); the base
+  // mean is deflated by E[e^v] = e^{sigma^2/2} so the overall mean matches
+  // the paper's 5.75 turns/session.
+  const double sigma = config_.verbosity_log_sigma;
+  const double base_mean = (1.0 - config_.extra_turn_geometric_p) /
+                           config_.extra_turn_geometric_p / std::exp(sigma * sigma / 2.0);
+  const double mean_extra = base_mean * std::exp(verbosity);
+  const double p = 1.0 / (1.0 + mean_extra);
+  std::uint32_t turns = 2;
+  while (turns < config_.max_turns && !rng_.NextBool(p)) {
+    ++turns;
+  }
+  return turns;
+}
+
+std::uint32_t ShareGptGenerator::SampleLogNormal(double log_mean, double log_sigma,
+                                                 std::uint32_t lo, std::uint32_t hi) {
+  const double v = std::exp(log_mean + log_sigma * rng_.NextGaussian());
+  const double clamped = std::clamp(v, static_cast<double>(lo), static_cast<double>(hi));
+  return static_cast<std::uint32_t>(clamped);
+}
+
+SessionTrace ShareGptGenerator::GenerateSession(SessionId id) {
+  SessionTrace trace;
+  trace.id = id;
+  // Session-level verbosity shifts every turn's lengths (and the turn count)
+  // coherently.
+  const double verbosity = config_.verbosity_log_sigma * rng_.NextGaussian();
+  const std::uint32_t turns = SampleTurnCount(verbosity);
+  trace.turns.reserve(turns);
+  trace.think_times.reserve(turns);
+  for (std::uint32_t j = 0; j < turns; ++j) {
+    Turn turn;
+    turn.q_tokens = SampleLogNormal(config_.q_log_mean + verbosity, config_.q_log_sigma, 4,
+                                    config_.max_turn_tokens);
+    turn.a_tokens = SampleLogNormal(config_.a_log_mean + verbosity, config_.a_log_sigma, 4,
+                                    config_.max_turn_tokens);
+    trace.turns.push_back(turn);
+    trace.think_times.push_back(
+        j == 0 ? 0 : FromSeconds(rng_.NextExponential(1.0 / config_.think_time_mean_s)));
+  }
+  return trace;
+}
+
+std::vector<SessionTrace> ShareGptGenerator::Generate(std::size_t n) {
+  std::vector<SessionTrace> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(GenerateSession(static_cast<SessionId>(i)));
+  }
+  return out;
+}
+
+WorkloadSummary Summarize(const std::vector<SessionTrace>& sessions) {
+  WorkloadSummary s;
+  s.sessions = sessions.size();
+  if (sessions.empty()) {
+    return s;
+  }
+  std::size_t multi = 0;
+  std::size_t over2k = 0;
+  std::size_t over4k = 0;
+  double token_sum = 0.0;
+  for (const SessionTrace& t : sessions) {
+    s.total_turns += t.turns.size();
+    if (t.turns.size() > 1) {
+      ++multi;
+    }
+    const std::uint32_t tokens = t.total_tokens();
+    token_sum += tokens;
+    if (tokens > 2048) {
+      ++over2k;
+    }
+    if (tokens > 4096) {
+      ++over4k;
+    }
+  }
+  const double n = static_cast<double>(sessions.size());
+  s.mean_turns = static_cast<double>(s.total_turns) / n;
+  s.multi_turn_fraction = static_cast<double>(multi) / n;
+  s.frac_sessions_over_2k = static_cast<double>(over2k) / n;
+  s.frac_sessions_over_4k = static_cast<double>(over4k) / n;
+  s.mean_session_tokens = token_sum / n;
+  return s;
+}
+
+}  // namespace ca

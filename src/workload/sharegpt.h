@@ -1,0 +1,116 @@
+// Synthetic ShareGPT-like multi-turn conversation workload.
+//
+// The real ShareGPT dump is not shipped here; instead the generator
+// reproduces the published marginals the paper's experiments depend on
+// (§2.3, Fig. 2, §4.2):
+//   * 73% of conversations are multi-turn; mean 5.75 turns per session,
+//     long tail to ~40 turns.
+//   * 47% / 30% of sessions exceed 2K / 4K total tokens; tail to ~32K.
+//   * per-turn new input is a small fraction of the accumulated history
+//     (>99% historical tokens by turn ~10, Fig. 4a).
+// Turn counts use a shifted geometric mixture; per-turn question/answer
+// lengths use lognormals. Defaults were calibrated against those targets
+// (see workload_test.cc for the enforced tolerance bands).
+#ifndef CA_WORKLOAD_SHAREGPT_H_
+#define CA_WORKLOAD_SHAREGPT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/store/types.h"
+
+namespace ca {
+
+// One conversation turn: the user question and the assistant answer lengths
+// in tokens.
+struct Turn {
+  std::uint32_t q_tokens = 0;
+  std::uint32_t a_tokens = 0;
+
+  std::uint32_t total() const { return q_tokens + a_tokens; }
+};
+
+// A full conversation session trace.
+struct SessionTrace {
+  SessionId id = kInvalidSession;
+  // Arrival of the session's first turn (assigned by the arrival process).
+  SimTime arrival = 0;
+  std::vector<Turn> turns;
+  // User think time before each turn j >= 1 (seconds after the previous
+  // response completed). think_times.size() == turns.size(); entry 0 unused.
+  std::vector<SimTime> think_times;
+
+  std::uint32_t total_tokens() const {
+    std::uint32_t sum = 0;
+    for (const Turn& t : turns) {
+      sum += t.total();
+    }
+    return sum;
+  }
+};
+
+struct ShareGptConfig {
+  // Probability a conversation is single-turn (paper: 27%).
+  double single_turn_prob = 0.27;
+  // Multi-turn sessions have 2 + Geometric(p) turns.
+  double extra_turn_geometric_p = 0.154;  // mean extra turns ~5.5 -> E[turns] ~= 5.75
+  std::uint32_t max_turns = 40;
+
+  // Question length ~ LogNormal(mu, sigma) tokens (clamped to >= 4).
+  double q_log_mean = 5.0;   // median ~148 tokens
+  double q_log_sigma = 1.6;  // questions carry the heavy tail (pasted code/documents)
+  // Answer length ~ LogNormal(mu, sigma) tokens (ShareGPT answers average
+  // ~200-250 tokens).
+  double a_log_mean = 4.9;   // median ~134 tokens
+  double a_log_sigma = 0.6;
+  // Per-session verbosity multiplier ~ LogNormal(0, sigma), applied to every
+  // turn of the session. Verbose conversations stay verbose, which is what
+  // produces the heavy session-length tail of Fig. 2b without inflating the
+  // mean per-turn answer length.
+  double verbosity_log_sigma = 0.5;
+  std::uint32_t max_turn_tokens = 4096;
+
+  // User think time between turns ~ Exponential(mean). This is not published
+  // in the paper; 60 s is our assumption (see DESIGN.md) — it controls how
+  // long a session stays inactive between turns.
+  double think_time_mean_s = 15.0;
+};
+
+class ShareGptGenerator {
+ public:
+  ShareGptGenerator(ShareGptConfig config, std::uint64_t seed);
+
+  // Generates `n` session traces with ids 0..n-1 (arrival times are left at
+  // zero; use an ArrivalProcess to assign them).
+  std::vector<SessionTrace> Generate(std::size_t n);
+
+  // Generates a single session trace.
+  SessionTrace GenerateSession(SessionId id);
+
+ private:
+  std::uint32_t SampleTurnCount(double verbosity);
+  std::uint32_t SampleLogNormal(double log_mean, double log_sigma, std::uint32_t lo,
+                                std::uint32_t hi);
+
+  ShareGptConfig config_;
+  Rng rng_;
+};
+
+// Aggregate statistics over a workload (used by tests and Fig. 2).
+struct WorkloadSummary {
+  std::size_t sessions = 0;
+  std::size_t total_turns = 0;
+  double mean_turns = 0.0;
+  double multi_turn_fraction = 0.0;
+  double frac_sessions_over_2k = 0.0;
+  double frac_sessions_over_4k = 0.0;
+  double mean_session_tokens = 0.0;
+};
+
+WorkloadSummary Summarize(const std::vector<SessionTrace>& sessions);
+
+}  // namespace ca
+
+#endif  // CA_WORKLOAD_SHAREGPT_H_

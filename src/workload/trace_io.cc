@@ -1,0 +1,72 @@
+#include "src/workload/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace ca {
+
+Status SaveTraceCsv(const std::vector<SessionTrace>& sessions, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return IoError("cannot open " + path + " for writing");
+  }
+  std::fprintf(f, "session_id,arrival_ns,turn_index,q_tokens,a_tokens,think_ns\n");
+  for (const SessionTrace& s : sessions) {
+    for (std::size_t j = 0; j < s.turns.size(); ++j) {
+      std::fprintf(f, "%" PRIu64 ",%" PRId64 ",%zu,%u,%u,%" PRId64 "\n", s.id, s.arrival, j,
+                   s.turns[j].q_tokens, s.turns[j].a_tokens, s.think_times[j]);
+    }
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Result<std::vector<SessionTrace>> LoadTraceCsv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return IoError("cannot open " + path + " for reading");
+  }
+  char line[256];
+  // Header.
+  if (std::fgets(line, sizeof(line), f) == nullptr) {
+    std::fclose(f);
+    return IoError("empty trace file " + path);
+  }
+  // Sessions appear grouped in file order but we tolerate any order.
+  std::map<SessionId, SessionTrace> by_id;
+  std::size_t line_no = 1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    std::uint64_t session = 0;
+    std::int64_t arrival = 0;
+    std::size_t turn_index = 0;
+    unsigned q = 0;
+    unsigned a = 0;
+    std::int64_t think = 0;
+    const int got = std::sscanf(line, "%" SCNu64 ",%" SCNd64 ",%zu,%u,%u,%" SCNd64, &session,
+                                &arrival, &turn_index, &q, &a, &think);
+    if (got != 6) {
+      std::fclose(f);
+      return IoError("malformed trace line " + std::to_string(line_no) + " in " + path);
+    }
+    SessionTrace& trace = by_id[session];
+    trace.id = session;
+    trace.arrival = arrival;
+    if (trace.turns.size() <= turn_index) {
+      trace.turns.resize(turn_index + 1);
+      trace.think_times.resize(turn_index + 1, 0);
+    }
+    trace.turns[turn_index] = Turn{.q_tokens = q, .a_tokens = a};
+    trace.think_times[turn_index] = think;
+  }
+  std::fclose(f);
+  std::vector<SessionTrace> out;
+  out.reserve(by_id.size());
+  for (auto& [id, trace] : by_id) {
+    out.push_back(std::move(trace));
+  }
+  return out;
+}
+
+}  // namespace ca

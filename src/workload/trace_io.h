@@ -1,0 +1,23 @@
+// CSV persistence for workload traces so experiments can be re-run on
+// identical inputs or inspected with external tooling.
+//
+// Format: one row per turn:
+//   session_id,arrival_ns,turn_index,q_tokens,a_tokens,think_ns
+#ifndef CA_WORKLOAD_TRACE_IO_H_
+#define CA_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/workload/sharegpt.h"
+
+namespace ca {
+
+Status SaveTraceCsv(const std::vector<SessionTrace>& sessions, const std::string& path);
+
+Result<std::vector<SessionTrace>> LoadTraceCsv(const std::string& path);
+
+}  // namespace ca
+
+#endif  // CA_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,92 @@
+// Checkpoint save/load round trips, corruption detection, architecture
+// validation, and the CRC-32C primitive.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/model/checkpoint.h"
+#include "src/model/transformer.h"
+
+namespace ca {
+namespace {
+
+std::string TempPath(const char* name) { return testing::TempDir() + "/" + name; }
+
+TEST(Crc32cTest, KnownVector) {
+  // Standard CRC-32C test vector: "123456789" -> 0xE3069283.
+  const char data[] = "123456789";
+  EXPECT_EQ(Crc32c(data, 9), 0xE3069283U);
+}
+
+TEST(Crc32cTest, EmptyAndSensitivity) {
+  EXPECT_EQ(Crc32c(nullptr, 0), 0x00000000U);
+  const char a[] = "hello";
+  const char b[] = "hellp";
+  EXPECT_NE(Crc32c(a, 5), Crc32c(b, 5));
+}
+
+TEST(CheckpointTest, RoundTripRestoresForward) {
+  const ModelConfig config = ModelConfig::Tiny();
+  Transformer original(config, 7);
+  const std::string path = TempPath("ckpt_roundtrip.bin");
+  ASSERT_TRUE(SaveCheckpoint(original, path).ok());
+
+  Transformer restored(config, 999);  // different random init
+  ASSERT_TRUE(LoadCheckpoint(restored, path).ok());
+
+  const std::vector<TokenId> tokens = {1, 5, 9, 3};
+  KvCache c1 = original.MakeCache(PeMode::kDecoupled);
+  KvCache c2 = restored.MakeCache(PeMode::kDecoupled);
+  const Tensor l1 = original.Forward(tokens, c1);
+  const Tensor l2 = restored.Forward(tokens, c2);
+  EXPECT_EQ(MaxAbsDiff(l1, l2), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsWrongArchitecture) {
+  Transformer model(ModelConfig::Tiny(), 7);
+  const std::string path = TempPath("ckpt_arch.bin");
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+
+  Transformer other(ModelConfig::Mini(), 7);
+  const Status s = LoadCheckpoint(other, path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsCorruptPayload) {
+  Transformer model(ModelConfig::Tiny(), 7);
+  const std::string path = TempPath("ckpt_corrupt.bin");
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+
+  // Flip one byte in the middle of the payload.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(256);
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(256);
+  byte = static_cast<char>(byte ^ 0xFF);
+  f.write(&byte, 1);
+  f.close();
+
+  const Status s = LoadCheckpoint(model, path);
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsGarbageFile) {
+  const std::string path = TempPath("ckpt_garbage.bin");
+  std::ofstream(path) << "not a checkpoint at all";
+  Transformer model(ModelConfig::Tiny(), 7);
+  EXPECT_FALSE(LoadCheckpoint(model, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileFails) {
+  Transformer model(ModelConfig::Tiny(), 7);
+  EXPECT_EQ(LoadCheckpoint(model, "/nonexistent/dir/ckpt.bin").code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace ca

@@ -1,0 +1,262 @@
+// End-to-end discrete-event simulation tests: CA vs RE orderings, warmup
+// accounting, context-overflow (OF) behaviour, policy comparisons, storage
+// tier configurations, and determinism.
+#include <gtest/gtest.h>
+
+#include "src/sim/cluster_sim.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/sharegpt.h"
+
+namespace ca {
+namespace {
+
+std::vector<SessionTrace> MakeWorkload(std::size_t sessions, std::uint64_t seed,
+                                       double arrival_rate = 1.0,
+                                       double think_time_s = 20.0) {
+  ShareGptConfig config;
+  config.think_time_mean_s = think_time_s;
+  ShareGptGenerator gen(config, seed);
+  auto traces = gen.Generate(sessions);
+  AssignArrivals(traces, arrival_rate, seed + 1);
+  return traces;
+}
+
+SimOptions CaOptions() {
+  SimOptions options;
+  options.mode = EngineMode::kCachedAttention;
+  options.model = ModelDescriptor::Llama13B();
+  options.store.dram_capacity = GiB(128);
+  options.store.disk_capacity = TiB(2);
+  options.store.block_bytes = MiB(16);
+  return options;
+}
+
+SimOptions ReOptions() {
+  SimOptions options = CaOptions();
+  options.mode = EngineMode::kRecompute;
+  return options;
+}
+
+TEST(ClusterSimTest, CompletesAllTurns) {
+  const auto workload = MakeWorkload(50, 1);
+  std::size_t total_turns = 0;
+  for (const auto& s : workload) {
+    total_turns += s.turns.size();
+  }
+  ClusterSim sim(CaOptions(), workload);
+  const SimMetrics m = sim.Run();
+  EXPECT_EQ(m.turns, total_turns);
+  EXPECT_GT(m.makespan, 0);
+  EXPECT_GT(m.decoded_tokens, 0ULL);
+  EXPECT_GT(m.prompt_tokens, 0ULL);
+}
+
+TEST(ClusterSimTest, WarmupExcludedFromMetrics) {
+  const auto workload = MakeWorkload(50, 2);
+  std::size_t total_turns = 0;
+  for (const auto& s : workload) {
+    total_turns += s.turns.size();
+  }
+  SimOptions options = CaOptions();
+  options.warmup_turns = 100;
+  ClusterSim sim(options, workload);
+  const SimMetrics m = sim.Run();
+  EXPECT_EQ(m.turns, total_turns - 100);
+}
+
+// The headline orderings (Figs. 14-16): with ample storage, CachedAttention
+// beats recomputation on TTFT, prefill throughput and GPU time.
+TEST(ClusterSimTest, CaBeatsReOnHeadlineMetrics) {
+  const auto workload = MakeWorkload(120, 3);
+  SimOptions ca = CaOptions();
+  SimOptions re = ReOptions();
+  ca.warmup_turns = 80;
+  re.warmup_turns = 80;
+  const SimMetrics m_ca = ClusterSim(ca, workload).Run();
+  const SimMetrics m_re = ClusterSim(re, workload).Run();
+
+  EXPECT_GT(m_ca.store.hit_rate(), 0.8);
+  EXPECT_EQ(m_re.store.lookups, 0ULL);  // RE never consults the store
+
+  EXPECT_LT(m_ca.mean_ttft_s(), m_re.mean_ttft_s());
+  EXPECT_GT(m_ca.prefill_throughput(), 1.5 * m_re.prefill_throughput());
+  EXPECT_LT(m_ca.gpu_time(), m_re.gpu_time());
+  EXPECT_LT(m_ca.computed_tokens, m_ca.prompt_tokens);
+  EXPECT_EQ(m_re.computed_tokens, m_re.prompt_tokens);
+
+  // Cost (Fig. 17): CA cheaper despite paying for DRAM+SSD.
+  EXPECT_LT(m_ca.cost.total(), m_re.cost.total());
+  EXPECT_GT(m_ca.cost.storage(), 0.0);
+}
+
+TEST(ClusterSimTest, DeterministicForSameWorkload) {
+  const auto workload = MakeWorkload(40, 4);
+  const SimMetrics a = ClusterSim(CaOptions(), workload).Run();
+  const SimMetrics b = ClusterSim(CaOptions(), workload).Run();
+  EXPECT_EQ(a.gpu_time(), b.gpu_time());
+  EXPECT_EQ(a.store.hits(), b.store.hits());
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+// §4.3.4: with a small context window, the OF baseline (coupled PE)
+// invalidates caches on every overflow, dropping the hit rate below
+// decoupled CA's.
+TEST(ClusterSimTest, ContextOverflowHurtsCoupledPe) {
+  auto workload = MakeWorkload(120, 5);
+  SimOptions ca = CaOptions();
+  // Falcon-40B: 2K window (frequent overflow) and small KV per token, so a
+  // cache hit is unambiguously cheaper than recomputation.
+  ca.model = ModelDescriptor::Falcon40B();
+  SimOptions of = ca;
+  of.decoupled_pe = false;
+  const SimMetrics m_ca = ClusterSim(ca, workload).Run();
+  const SimMetrics m_of = ClusterSim(of, workload).Run();
+  EXPECT_GT(m_ca.truncation_events, 0ULL);
+  EXPECT_LT(m_of.store.hit_rate(), m_ca.store.hit_rate());
+  EXPECT_GE(m_ca.gpu_time(), 0);
+  EXPECT_LE(m_ca.gpu_time(), m_of.gpu_time());
+}
+
+// §4.3.3: under storage pressure the scheduler-aware policy beats LRU and
+// FIFO, mostly because prefetching turns disk hits into DRAM hits.
+TEST(ClusterSimTest, SchedulerAwareBeatsLruUnderPressure) {
+  // The policy regime: long reuse distances (3 min think time) so returning
+  // sessions find their KV demoted, plus a loaded queue so the prefetcher
+  // has lead time (see bench/fig21_eviction_policies.cc).
+  const auto workload =
+      MakeWorkload(300, 6, /*arrival_rate=*/2.0, /*think_time_s=*/180.0);
+  SimOptions aware = CaOptions();
+  aware.store.dram_capacity = GiB(8);
+  aware.store.disk_capacity = GiB(64);
+
+  SimOptions lru = aware;
+  lru.store.eviction_policy = "lru";
+  lru.prefetch_enabled = false;  // history-only policies cannot prefetch
+
+  const SimMetrics m_aware = ClusterSim(aware, workload).Run();
+  const SimMetrics m_lru = ClusterSim(lru, workload).Run();
+
+  EXPECT_GE(m_aware.store.hit_rate(), m_lru.store.hit_rate());
+  // The DRAM hit fraction is where scheduler-awareness shows (paper: LRU
+  // ~0.5% DRAM hits vs CA >99% of hits in DRAM).
+  EXPECT_GT(m_aware.store.dram_hit_rate(), m_lru.store.dram_hit_rate());
+}
+
+// §4.3.7: an HBM-only cache is far too small; adding DRAM helps a little;
+// adding SSD makes hit rates high.
+TEST(ClusterSimTest, StorageMediumsChangeHitRate) {
+  const auto workload = MakeWorkload(100, 7);
+
+  SimOptions hbm_only = CaOptions();
+  hbm_only.store.hbm_capacity = GiB(10);
+  hbm_only.store.dram_capacity = 0;
+  hbm_only.store.disk_capacity = 0;
+
+  // DRAM small enough that this workload does not fit in it entirely.
+  SimOptions hbm_dram = CaOptions();
+  hbm_dram.store.hbm_capacity = GiB(10);
+  hbm_dram.store.dram_capacity = GiB(24);
+  hbm_dram.store.disk_capacity = 0;
+
+  SimOptions full = CaOptions();
+  full.store.hbm_capacity = GiB(10);
+  full.store.dram_capacity = GiB(24);
+
+  const double hit_hbm = ClusterSim(hbm_only, workload).Run().store.hit_rate();
+  const double hit_dram = ClusterSim(hbm_dram, workload).Run().store.hit_rate();
+  const double hit_full = ClusterSim(full, workload).Run().store.hit_rate();
+  EXPECT_LE(hit_hbm, hit_dram);
+  EXPECT_LT(hit_dram, hit_full);
+  EXPECT_GT(hit_full, 0.7);
+}
+
+// Fig. 25's direction: higher arrival rates -> same-or-lower hit rate.
+TEST(ClusterSimTest, HigherArrivalRateDoesNotImproveHitRate) {
+  SimOptions options = CaOptions();
+  options.store.dram_capacity = GiB(16);
+  options.store.disk_capacity = GiB(128);
+  options.store.ttl = 10 * kMinute;
+  const auto slow = MakeWorkload(150, 8, /*arrival_rate=*/0.5);
+  const auto fast = MakeWorkload(150, 8, /*arrival_rate=*/4.0);
+  const double hit_slow = ClusterSim(options, slow).Run().store.hit_rate();
+  const double hit_fast = ClusterSim(options, fast).Run().store.hit_rate();
+  EXPECT_GE(hit_slow + 0.03, hit_fast);  // allow small noise
+}
+
+// Preload ablation (Fig. 19 direction): disabling layer-wise pre-loading
+// cannot make prefill faster.
+TEST(ClusterSimTest, PreloadNeverHurts) {
+  const auto workload = MakeWorkload(80, 9);
+  SimOptions with_pl = CaOptions();
+  SimOptions without_pl = CaOptions();
+  without_pl.layerwise_preload = false;
+  const SimMetrics m_with = ClusterSim(with_pl, workload).Run();
+  const SimMetrics m_without = ClusterSim(without_pl, workload).Run();
+  EXPECT_LE(m_with.prefill_busy, m_without.prefill_busy);
+}
+
+// Async-save ablation (Fig. 20 direction): synchronous saving adds stalls.
+TEST(ClusterSimTest, AsyncSaveReducesStalls) {
+  const auto workload = MakeWorkload(80, 10);
+  SimOptions async_save = CaOptions();
+  SimOptions sync_save = CaOptions();
+  sync_save.async_save = false;
+  sync_save.write_buffer_bytes = 0;
+  const SimMetrics m_async = ClusterSim(async_save, workload).Run();
+  const SimMetrics m_sync = ClusterSim(sync_save, workload).Run();
+  EXPECT_LT(m_async.save_stall, m_sync.save_stall);
+  EXPECT_LE(m_async.gpu_time(), m_sync.gpu_time());
+}
+
+// Parameterised conservation sweep: for every evaluation model and both
+// engine modes, the simulation terminates, serves every turn exactly once,
+// and its accounting invariants hold.
+class SimConservation
+    : public ::testing::TestWithParam<std::tuple<int, EngineMode, std::uint64_t>> {};
+
+TEST_P(SimConservation, InvariantsHold) {
+  const auto [model_idx, mode, seed] = GetParam();
+  const auto workload = MakeWorkload(60, seed);
+  std::size_t total_turns = 0;
+  std::uint64_t total_decode = 0;
+  for (const auto& s : workload) {
+    total_turns += s.turns.size();
+    for (const Turn& t : s.turns) {
+      total_decode += std::max<std::uint32_t>(1, t.a_tokens);
+    }
+  }
+  SimOptions options = CaOptions();
+  options.mode = mode;
+  options.model = ModelDescriptor::EvaluationSuite()[static_cast<std::size_t>(model_idx)];
+  const SimMetrics m = ClusterSim(options, workload).Run();
+
+  // Every turn served exactly once (no warmup here).
+  EXPECT_EQ(m.turns, total_turns);
+  // Context-window caps may shorten decodes, never lengthen them.
+  EXPECT_LE(m.decoded_tokens, total_decode);
+  EXPECT_GT(m.decoded_tokens, 0ULL);
+  // Computed prompt tokens never exceed full prompts; equality holds in RE.
+  EXPECT_LE(m.computed_tokens, m.prompt_tokens);
+  if (mode == EngineMode::kRecompute) {
+    EXPECT_EQ(m.computed_tokens, m.prompt_tokens);
+  }
+  // A single worker cannot be busy longer than the wall clock.
+  EXPECT_LE(m.gpu_time(), m.makespan);
+  // TTFT samples: one per turn, all non-negative.
+  EXPECT_EQ(m.ttft_s.count(), total_turns);
+  EXPECT_GE(m.ttft_s.min(), 0.0);
+  // Store accounting: in CA mode every turn performs exactly one lookup.
+  if (mode == EngineMode::kCachedAttention) {
+    EXPECT_EQ(m.store.lookups, total_turns);
+    EXPECT_EQ(m.store.hits() + m.store.misses, m.store.lookups);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsModesSeeds, SimConservation,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values(EngineMode::kCachedAttention, EngineMode::kRecompute),
+                       ::testing::Values(11ULL, 99ULL)));
+
+}  // namespace
+}  // namespace ca

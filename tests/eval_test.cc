@@ -1,0 +1,92 @@
+// Eval helper tests: continuation NLL, perplexity conversion, next-token
+// prediction and argmax agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/model/eval.h"
+#include "src/model/transformer.h"
+#include "src/tensor/ops.h"
+
+namespace ca {
+namespace {
+
+std::vector<TokenId> MakeTokens(std::size_t n, std::uint64_t seed, std::size_t vocab) {
+  Rng rng(seed);
+  std::vector<TokenId> out(n);
+  for (auto& t : out) {
+    t = static_cast<TokenId>(rng.NextBounded(vocab));
+  }
+  return out;
+}
+
+TEST(EvalTest, NllMatchesManualComputation) {
+  const Transformer model(ModelConfig::Tiny(), 3);
+  const auto tokens = MakeTokens(6, 1, model.config().vocab_size);
+
+  // Manual: forward, accumulate log-softmax of each target.
+  KvCache manual_cache = model.MakeCache(PeMode::kDecoupled);
+  const Tensor logits = model.Forward(tokens, manual_cache);
+  double manual = 0.0;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const std::span<const float> row{logits.row(i), model.config().vocab_size};
+    manual += LogSumExp(row) - row[static_cast<std::size_t>(tokens[i + 1])];
+  }
+  manual /= static_cast<double>(tokens.size() - 1);
+
+  KvCache cache = model.MakeCache(PeMode::kDecoupled);
+  const double nll = ContinuationNll(model, tokens, cache);
+  EXPECT_NEAR(nll, manual, 1e-6);
+  EXPECT_EQ(cache.seq_len(), tokens.size());
+}
+
+TEST(EvalTest, RandomModelNllNearUniform) {
+  const Transformer model(ModelConfig::Tiny(), 5);
+  const auto tokens = MakeTokens(40, 2, model.config().vocab_size);
+  KvCache cache = model.MakeCache(PeMode::kDecoupled);
+  const double nll = ContinuationNll(model, tokens, cache);
+  EXPECT_NEAR(nll, std::log(static_cast<double>(model.config().vocab_size)), 1.0);
+  EXPECT_GT(nll, 0.0);
+}
+
+TEST(EvalTest, PerplexityIsExpOfNll) {
+  EXPECT_DOUBLE_EQ(NllToPerplexity(0.0), 1.0);
+  EXPECT_NEAR(NllToPerplexity(std::log(64.0)), 64.0, 1e-9);
+}
+
+TEST(EvalTest, PredictNextMatchesArgmaxOfForward) {
+  const Transformer model(ModelConfig::Tiny(), 7);
+  const auto probe = MakeTokens(4, 3, model.config().vocab_size);
+
+  KvCache c1 = model.MakeCache(PeMode::kDecoupled);
+  const Tensor logits = model.Forward(probe, c1);
+  const TokenId expected = model.Argmax(logits, probe.size() - 1);
+
+  KvCache c2 = model.MakeCache(PeMode::kDecoupled);
+  EXPECT_EQ(PredictNext(model, probe, c2), expected);
+}
+
+TEST(EvalTest, AgreementBoundsAndIdentity) {
+  const Transformer model(ModelConfig::Tiny(), 9);
+  const auto tokens = MakeTokens(8, 4, model.config().vocab_size);
+  KvCache c1 = model.MakeCache(PeMode::kDecoupled);
+  const Tensor logits = model.Forward(tokens, c1);
+  EXPECT_DOUBLE_EQ(ArgmaxAgreement(model, logits, logits), 1.0);
+
+  // Negated logits invert the ranking; agreement should collapse.
+  Tensor negated = logits.Clone();
+  for (std::size_t i = 0; i < negated.numel(); ++i) {
+    negated[i] = -negated[i];
+  }
+  EXPECT_LT(ArgmaxAgreement(model, logits, negated), 0.5);
+}
+
+TEST(EvalDeathTest, NllNeedsAtLeastTwoTokens) {
+  const Transformer model(ModelConfig::Tiny(), 3);
+  KvCache cache = model.MakeCache(PeMode::kDecoupled);
+  const std::vector<TokenId> one = {1};
+  EXPECT_DEATH((void)ContinuationNll(model, one, cache), "CA_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ca

@@ -1,0 +1,102 @@
+// Discrete-event queue core: time ordering, deterministic FIFO tie-breaks,
+// scheduling from inside callbacks, and monotonic time.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/event_queue.h"
+
+namespace ca {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  EXPECT_EQ(q.Run(), 3U);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueueTest, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(7, [&order, i] { order.push_back(i); });
+  }
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CallbacksCanScheduleMore) {
+  EventQueue q;
+  std::vector<SimTime> fire_times;
+  // A self-rescheduling event chain: 0, 5, 10, 15.
+  std::function<void()> tick = [&] {
+    fire_times.push_back(q.now());
+    if (q.now() < 15) {
+      q.ScheduleAfter(5, tick);
+    }
+  };
+  q.ScheduleAt(0, tick);
+  q.Run();
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{0, 5, 10, 15}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  SimTime inner_fire = -1;
+  q.ScheduleAt(100, [&] { q.ScheduleAfter(50, [&] { inner_fire = q.now(); }); });
+  q.Run();
+  EXPECT_EQ(inner_fire, 150);
+}
+
+TEST(EventQueueTest, MaxEventsLimitsExecution) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(i, [&] { ++fired; });
+  }
+  EXPECT_EQ(q.Run(4), 4U);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(q.size(), 6U);
+  q.Run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueueTest, EmptyQueueNoop) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.Run(), 0U);
+  EXPECT_EQ(q.now(), 0);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastAborts) {
+  EventQueue q;
+  q.ScheduleAt(100, [] {});
+  q.Run();
+  EXPECT_DEATH(q.ScheduleAt(50, [] {}), "CA_CHECK failed");
+}
+
+TEST(EventQueueTest, MonotonicTimeAcrossManyRandomEvents) {
+  EventQueue q;
+  Rng rng(5);
+  SimTime last_seen = -1;
+  bool monotone = true;
+  for (int i = 0; i < 1000; ++i) {
+    q.ScheduleAt(static_cast<SimTime>(rng.NextBounded(100000)), [&] {
+      if (q.now() < last_seen) {
+        monotone = false;
+      }
+      last_seen = q.now();
+    });
+  }
+  q.Run();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace ca

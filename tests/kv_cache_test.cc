@@ -1,0 +1,217 @@
+// KvCache layout, truncation and serialization tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/model/config.h"
+#include "src/model/kv_cache.h"
+
+namespace ca {
+namespace {
+
+std::vector<float> Row(std::size_t dim, float base) {
+  std::vector<float> v(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    v[i] = base + static_cast<float>(i);
+  }
+  return v;
+}
+
+// Appends `tokens` tokens to every layer; K rows start at 100*t, V at
+// 100*t + 50.
+void FillCache(KvCache& cache, std::size_t tokens) {
+  const std::size_t dim = cache.kv_dim();
+  for (std::size_t layer = 0; layer < cache.n_layers(); ++layer) {
+    for (std::size_t t = cache.layer_len(layer); t < tokens; ++t) {
+      cache.Append(layer, Row(dim, 100.0f * static_cast<float>(t)),
+                   Row(dim, 100.0f * static_cast<float>(t) + 50.0f));
+    }
+  }
+}
+
+TEST(KvCacheTest, EmptyOnConstruction) {
+  KvCache cache(ModelConfig::Mini(), PeMode::kDecoupled);
+  EXPECT_EQ(cache.seq_len(), 0U);
+  EXPECT_TRUE(cache.empty());
+  EXPECT_EQ(cache.byte_size(), 0ULL);
+  EXPECT_EQ(cache.n_layers(), ModelConfig::Mini().n_layers);
+  EXPECT_EQ(cache.kv_dim(), ModelConfig::Mini().kv_dim());
+}
+
+TEST(KvCacheTest, AppendAndReadBack) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kDecoupled);
+  FillCache(cache, 3);
+  EXPECT_EQ(cache.seq_len(), 3U);
+  EXPECT_EQ(cache.K(1, 2)[0], 200.0f);
+  EXPECT_EQ(cache.V(1, 2)[0], 250.0f);
+  EXPECT_EQ(cache.K(0, 0)[1], 1.0f);
+}
+
+TEST(KvCacheTest, ByteSizeMatchesConfigFormula) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kDecoupled);
+  FillCache(cache, 7);
+  EXPECT_EQ(cache.byte_size(), 7 * config.kv_bytes_per_token());
+}
+
+TEST(KvCacheTest, TruncateFrontDropsOldest) {
+  KvCache cache(ModelConfig::Mini(), PeMode::kDecoupled);
+  FillCache(cache, 5);
+  cache.TruncateFront(2);
+  EXPECT_EQ(cache.seq_len(), 3U);
+  // Old token 2 is now token 0 in every layer.
+  for (std::size_t layer = 0; layer < cache.n_layers(); ++layer) {
+    EXPECT_EQ(cache.K(layer, 0)[0], 200.0f);
+    EXPECT_EQ(cache.V(layer, 2)[0], 450.0f);
+  }
+}
+
+TEST(KvCacheTest, TruncateMoreThanLengthClears) {
+  KvCache cache(ModelConfig::Mini(), PeMode::kDecoupled);
+  FillCache(cache, 2);
+  cache.TruncateFront(10);
+  EXPECT_EQ(cache.seq_len(), 0U);
+}
+
+TEST(KvCacheTest, DiscardTokensKeepsComplement) {
+  KvCache cache(ModelConfig::Mini(), PeMode::kDecoupled);
+  FillCache(cache, 5);
+  const std::vector<std::size_t> discard = {1, 3, 99};  // 99 out of range: ignored
+  cache.DiscardTokens(discard);
+  EXPECT_EQ(cache.seq_len(), 3U);
+  EXPECT_EQ(cache.K(0, 0)[0], 0.0f);
+  EXPECT_EQ(cache.K(0, 1)[0], 200.0f);
+  EXPECT_EQ(cache.K(0, 2)[0], 400.0f);
+}
+
+TEST(KvCacheTest, ClearEmpties) {
+  KvCache cache(ModelConfig::Mini(), PeMode::kDecoupled);
+  FillCache(cache, 4);
+  cache.Clear();
+  EXPECT_EQ(cache.seq_len(), 0U);
+  EXPECT_EQ(cache.byte_size(), 0ULL);
+}
+
+TEST(KvCacheTest, CloneIsDeep) {
+  KvCache cache(ModelConfig::Mini(), PeMode::kDecoupled);
+  FillCache(cache, 2);
+  KvCache copy = cache.Clone();
+  copy.TruncateFront(1);
+  EXPECT_EQ(cache.seq_len(), 2U);
+  EXPECT_EQ(copy.seq_len(), 1U);
+}
+
+TEST(KvCacheTest, MutableKWritesThrough) {
+  KvCache cache(ModelConfig::Mini(), PeMode::kDecoupled);
+  FillCache(cache, 1);
+  cache.MutableK(0, 0)[0] = -5.0f;
+  EXPECT_EQ(cache.K(0, 0)[0], -5.0f);
+}
+
+TEST(KvCacheTest, SerializeRoundTrip) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kDecoupled);
+  FillCache(cache, 6);
+  const auto bytes = cache.Serialize();
+  auto restored = KvCache::Deserialize(config, bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->seq_len(), 6U);
+  EXPECT_EQ(restored->pe_mode(), PeMode::kDecoupled);
+  for (std::size_t layer = 0; layer < cache.n_layers(); ++layer) {
+    for (std::size_t t = 0; t < 6; ++t) {
+      for (std::size_t d = 0; d < cache.kv_dim(); ++d) {
+        ASSERT_EQ(restored->K(layer, t)[d], cache.K(layer, t)[d]);
+        ASSERT_EQ(restored->V(layer, t)[d], cache.V(layer, t)[d]);
+      }
+    }
+  }
+}
+
+TEST(KvCacheTest, SerializePreservesPeMode) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kCoupled);
+  FillCache(cache, 1);
+  auto restored = KvCache::Deserialize(config, cache.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->pe_mode(), PeMode::kCoupled);
+}
+
+TEST(KvCacheTest, DeserializeRejectsGarbage) {
+  const ModelConfig config = ModelConfig::Mini();
+  const std::vector<std::uint8_t> junk(16, 0xAB);
+  EXPECT_FALSE(KvCache::Deserialize(config, junk).ok());
+  const std::vector<std::uint8_t> tiny(3, 0);
+  EXPECT_FALSE(KvCache::Deserialize(config, tiny).ok());
+}
+
+TEST(KvCacheTest, DeserializeRejectsWrongConfig) {
+  KvCache cache(ModelConfig::Mini(), PeMode::kDecoupled);
+  FillCache(cache, 2);
+  const auto bytes = cache.Serialize();
+  EXPECT_FALSE(KvCache::Deserialize(ModelConfig::Tiny(), bytes).ok());
+}
+
+TEST(KvCacheTest, DeserializeRejectsTruncatedBuffer) {
+  KvCache cache(ModelConfig::Mini(), PeMode::kDecoupled);
+  FillCache(cache, 2);
+  auto bytes = cache.Serialize();
+  bytes.pop_back();
+  EXPECT_FALSE(KvCache::Deserialize(ModelConfig::Mini(), bytes).ok());
+}
+
+TEST(KvCacheDeathTest, WrongRowSizeAborts) {
+  KvCache cache(ModelConfig::Mini(), PeMode::kDecoupled);
+  const std::vector<float> bad(3, 0.0f);
+  EXPECT_DEATH(cache.Append(0, bad, bad), "CA_CHECK failed");
+}
+
+TEST(KvCacheDeathTest, OutOfRangeTokenAborts) {
+  KvCache cache(ModelConfig::Mini(), PeMode::kDecoupled);
+  FillCache(cache, 1);
+  EXPECT_DEATH((void)cache.K(0, 5), "CA_CHECK failed");
+}
+
+// Parameterised: serialization round-trip across configs and lengths.
+class KvCacheRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {
+ protected:
+  static ModelConfig ConfigByName(const std::string& name) {
+    if (name == "mini") {
+      return ModelConfig::Mini();
+    }
+    if (name == "mha") {
+      return ModelConfig::MiniGqa1();
+    }
+    return ModelConfig::Tiny();
+  }
+};
+
+TEST_P(KvCacheRoundTrip, SurvivesSerializeDeserialize) {
+  const auto [name, tokens] = GetParam();
+  const ModelConfig config = ConfigByName(name);
+  KvCache cache(config, PeMode::kDecoupled);
+  Rng rng(tokens);
+  std::vector<float> row(config.kv_dim());
+  for (std::size_t layer = 0; layer < config.n_layers; ++layer) {
+    for (std::size_t t = 0; t < tokens; ++t) {
+      for (auto& x : row) {
+        x = rng.NextFloat();
+      }
+      cache.Append(layer, row, row);
+    }
+  }
+  auto restored = KvCache::Deserialize(config, cache.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->seq_len(), tokens);
+  EXPECT_EQ(restored->byte_size(), cache.byte_size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigsAndLengths, KvCacheRoundTrip,
+    ::testing::Combine(::testing::Values("mini", "mha", "tiny"),
+                       ::testing::Values(0UL, 1UL, 17UL, 128UL)));
+
+}  // namespace
+}  // namespace ca

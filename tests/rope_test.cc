@@ -1,0 +1,133 @@
+// RoPE properties the decoupled-PE scheme depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/model/rope.h"
+#include "src/tensor/ops.h"
+
+namespace ca {
+namespace {
+
+std::vector<float> RandomVec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(rng.NextGaussian());
+  }
+  return v;
+}
+
+float Norm(const std::vector<float>& v) {
+  float s = 0.0f;
+  for (const float x : v) {
+    s += x * x;
+  }
+  return std::sqrt(s);
+}
+
+TEST(RopeTest, PositionZeroIsIdentity) {
+  RopeTable rope(8, 10000.0f);
+  std::vector<float> v = RandomVec(8, 1);
+  const std::vector<float> orig = v;
+  rope.Apply(v, 0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i], orig[i], 1e-6f);
+  }
+}
+
+TEST(RopeTest, PreservesNorm) {
+  RopeTable rope(16, 10000.0f);
+  for (std::size_t pos : {1UL, 7UL, 100UL, 4096UL}) {
+    std::vector<float> v = RandomVec(16, pos);
+    const float before = Norm(v);
+    rope.Apply(v, pos);
+    EXPECT_NEAR(Norm(v), before, 1e-4f) << "pos " << pos;
+  }
+}
+
+TEST(RopeTest, InverseUndoesApply) {
+  RopeTable rope(32, 10000.0f);
+  std::vector<float> v = RandomVec(32, 3);
+  const std::vector<float> orig = v;
+  rope.Apply(v, 123);
+  rope.ApplyInverse(v, 123);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i], orig[i], 1e-5f);
+  }
+}
+
+// The core RoPE property: <rope(q, m), rope(k, n)> depends only on m - n.
+// This is what makes position re-embedding after truncation sound: shifting
+// all positions by the same offset leaves attention scores unchanged.
+TEST(RopeTest, ScoreDependsOnlyOnRelativePosition) {
+  RopeTable rope(16, 10000.0f);
+  const std::vector<float> q0 = RandomVec(16, 10);
+  const std::vector<float> k0 = RandomVec(16, 11);
+
+  auto score = [&](std::size_t m, std::size_t n) {
+    std::vector<float> q = q0;
+    std::vector<float> k = k0;
+    rope.Apply(q, m);
+    rope.Apply(k, n);
+    return Dot(q, k);
+  };
+
+  // Same relative distance 5 at different absolute offsets.
+  const float s1 = score(5, 0);
+  const float s2 = score(105, 100);
+  const float s3 = score(2053, 2048);
+  EXPECT_NEAR(s1, s2, 1e-3f);
+  EXPECT_NEAR(s1, s3, 1e-2f);
+
+  // Different relative distance must (generically) give a different score.
+  const float s4 = score(9, 0);
+  EXPECT_GT(std::fabs(s1 - s4), 1e-3f);
+}
+
+TEST(RopeTest, ApplyAllHeadsRotatesEachHead) {
+  RopeTable rope(4, 10000.0f);
+  std::vector<float> packed = RandomVec(12, 21);  // 3 heads x dim 4
+  std::vector<float> head0(packed.begin(), packed.begin() + 4);
+  std::vector<float> head2(packed.begin() + 8, packed.end());
+  rope.ApplyAllHeads(packed, 9);
+  rope.Apply(head0, 9);
+  rope.Apply(head2, 9);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(packed[i], head0[i], 1e-6f);
+    EXPECT_NEAR(packed[8 + i], head2[i], 1e-6f);
+  }
+}
+
+TEST(RopeDeathTest, OddDimAborts) {
+  EXPECT_DEATH(RopeTable(7, 10000.0f), "CA_CHECK failed");
+}
+
+// Parameterised sweep over head dims and thetas: norm preservation and
+// relative-position invariance must hold for every configuration the model
+// presets use.
+class RopeSweep : public ::testing::TestWithParam<std::tuple<std::size_t, float>> {};
+
+TEST_P(RopeSweep, RelativeInvariance) {
+  const auto [dim, theta] = GetParam();
+  RopeTable rope(dim, theta);
+  const std::vector<float> q0 = RandomVec(dim, dim);
+  const std::vector<float> k0 = RandomVec(dim, dim + 1);
+  auto score = [&](std::size_t m, std::size_t n) {
+    std::vector<float> q = q0;
+    std::vector<float> k = k0;
+    rope.Apply(q, m);
+    rope.Apply(k, n);
+    return Dot(q, k);
+  };
+  EXPECT_NEAR(score(17, 3), score(117, 103), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsThetas, RopeSweep,
+                         ::testing::Combine(::testing::Values(4UL, 8UL, 16UL, 64UL, 128UL),
+                                            ::testing::Values(1000.0f, 10000.0f, 500000.0f)));
+
+}  // namespace
+}  // namespace ca

@@ -1,0 +1,118 @@
+// Scheduler tests: FIFO job queue, look-ahead hints, continuous batcher.
+#include <gtest/gtest.h>
+
+#include "src/sched/batcher.h"
+#include "src/sched/job.h"
+#include "src/sched/job_queue.h"
+
+namespace ca {
+namespace {
+
+Job MakeJob(JobId id, SessionId session) {
+  Job j;
+  j.id = id;
+  j.session = session;
+  j.new_tokens = 10;
+  j.history_tokens = 90;
+  j.decode_tokens = 5;
+  return j;
+}
+
+TEST(JobTest, FullPromptIsHistoryPlusNew) {
+  const Job j = MakeJob(1, 2);
+  EXPECT_EQ(j.full_prompt_tokens(), 100U);
+}
+
+TEST(JobQueueTest, FifoOrder) {
+  JobQueue q;
+  q.Push(MakeJob(1, 10));
+  q.Push(MakeJob(2, 11));
+  q.Push(MakeJob(3, 12));
+  EXPECT_EQ(q.size(), 3U);
+  EXPECT_EQ(q.Peek()->id, 1ULL);
+  EXPECT_EQ(q.Pop()->id, 1ULL);
+  EXPECT_EQ(q.Pop()->id, 2ULL);
+  EXPECT_EQ(q.Pop()->id, 3ULL);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.Peek(), nullptr);
+}
+
+TEST(JobQueueTest, SessionSnapshotInOrder) {
+  JobQueue q;
+  q.Push(MakeJob(1, 30));
+  q.Push(MakeJob(2, 20));
+  q.Push(MakeJob(3, 30));
+  EXPECT_EQ(q.SessionSnapshot(), (std::vector<SessionId>{30, 20, 30}));
+}
+
+TEST(JobQueueTest, HintsRespectWindowAndEarliestUse) {
+  JobQueue q;
+  q.Push(MakeJob(1, 5));
+  q.Push(MakeJob(2, 6));
+  q.Push(MakeJob(3, 5));  // session 5 again, later
+  q.Push(MakeJob(4, 7));
+  const SchedulerHints hints = q.HintsForWindow(3);
+  EXPECT_EQ(hints.NextUse(5), 0U);
+  EXPECT_EQ(hints.NextUse(6), 1U);
+  EXPECT_FALSE(hints.InWindow(7));  // outside window of 3
+}
+
+TEST(BatcherTest, AdmitAndCapacity) {
+  ContinuousBatcher batcher(2);
+  EXPECT_TRUE(batcher.HasSlot());
+  batcher.Admit(MakeJob(1, 10), 3);
+  batcher.Admit(MakeJob(2, 11), 1);
+  EXPECT_FALSE(batcher.HasSlot());
+  EXPECT_EQ(batcher.active(), 2U);
+  EXPECT_EQ(batcher.free_slots(), 0U);
+}
+
+TEST(BatcherTest, StepCompletesJobsIndividually) {
+  ContinuousBatcher batcher(4);
+  batcher.Admit(MakeJob(1, 10), 2);
+  batcher.Admit(MakeJob(2, 11), 1);
+  auto done = batcher.StepIteration();
+  ASSERT_EQ(done.size(), 1U);
+  EXPECT_EQ(done[0].id, 2ULL);
+  EXPECT_EQ(batcher.active(), 1U);
+  EXPECT_TRUE(batcher.HasSlot());  // continuous batching: slot freed mid-flight
+  done = batcher.StepIteration();
+  ASSERT_EQ(done.size(), 1U);
+  EXPECT_EQ(done[0].id, 1ULL);
+  EXPECT_TRUE(batcher.empty());
+}
+
+TEST(BatcherTest, NewJobJoinsRunningBatch) {
+  ContinuousBatcher batcher(4);
+  batcher.Admit(MakeJob(1, 10), 3);
+  (void)batcher.StepIteration();
+  batcher.Admit(MakeJob(2, 11), 2);  // joins after one iteration
+  auto done = batcher.StepIteration();
+  EXPECT_TRUE(done.empty());  // job1 has 1 left, job2 has 1 left
+  done = batcher.StepIteration();
+  EXPECT_EQ(done.size(), 2U);
+}
+
+TEST(BatcherTest, ActiveJobsLists) {
+  ContinuousBatcher batcher(4);
+  batcher.Admit(MakeJob(7, 10), 2);
+  const auto active = batcher.ActiveJobs();
+  ASSERT_EQ(active.size(), 1U);
+  EXPECT_EQ(active[0], 7ULL);
+}
+
+TEST(BatcherDeathTest, OverfullAborts) {
+  ContinuousBatcher batcher(1);
+  batcher.Admit(MakeJob(1, 10), 1);
+  EXPECT_DEATH(batcher.Admit(MakeJob(2, 11), 1), "batch full");
+}
+
+TEST(BatcherDeathTest, DuplicateJobAborts) {
+  ContinuousBatcher batcher(2);
+  batcher.Admit(MakeJob(1, 10), 1);
+  EXPECT_DEATH(batcher.Admit(MakeJob(1, 10), 1), "already active");
+}
+
+}  // namespace
+}  // namespace ca

@@ -1,0 +1,233 @@
+// Tests for the tensor library and its kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+
+namespace ca {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndContents) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2U);
+  EXPECT_EQ(t.dim(0), 2U);
+  EXPECT_EQ(t.dim(1), 3U);
+  EXPECT_EQ(t.numel(), 6U);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, IndexingRoundTrips) {
+  Tensor t({3, 4});
+  t.at2(2, 3) = 5.0f;
+  EXPECT_EQ(t.at2(2, 3), 5.0f);
+  EXPECT_EQ(t[2 * 4 + 3], 5.0f);
+
+  Tensor u({2, 3, 4});
+  u.at3(1, 2, 3) = -1.0f;
+  EXPECT_EQ(u.at3(1, 2, 3), -1.0f);
+  EXPECT_EQ(u[(1 * 3 + 2) * 4 + 3], -1.0f);
+}
+
+TEST(TensorTest, RowPointer) {
+  Tensor t({2, 3});
+  t.row(1)[2] = 7.0f;
+  EXPECT_EQ(t.at2(1, 2), 7.0f);
+}
+
+TEST(TensorTest, ViewSharesStorage) {
+  float buf[6] = {1, 2, 3, 4, 5, 6};
+  Tensor v = Tensor::View(buf, {2, 3});
+  EXPECT_EQ(v.at2(1, 0), 4.0f);
+  v.at2(0, 0) = 9.0f;
+  EXPECT_EQ(buf[0], 9.0f);
+}
+
+TEST(TensorTest, CloneIsIndependent) {
+  Tensor t({2, 2});
+  t.Fill(1.0f);
+  Tensor c = t.Clone();
+  c.Fill(2.0f);
+  EXPECT_EQ(t[0], 1.0f);
+  EXPECT_EQ(c[0], 2.0f);
+}
+
+TEST(TensorTest, RandnIsDeterministic) {
+  Rng a(1);
+  Rng b(1);
+  Tensor x = Tensor::Randn({4, 4}, a);
+  Tensor y = Tensor::Randn({4, 4}, b);
+  EXPECT_TRUE(AllClose(x, y, 0.0f, 0.0f));
+}
+
+TEST(TensorTest, ShapeString) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.ShapeString(), "[2, 3, 4]");
+}
+
+TEST(TensorDeathTest, OutOfBoundsAborts) {
+  Tensor t({2, 2});
+  EXPECT_DEATH(t[4], "CA_CHECK failed");
+  EXPECT_DEATH((void)t.row(2), "CA_CHECK failed");
+}
+
+TEST(OpsTest, MatMulSmallKnown) {
+  Tensor a({2, 3});
+  Tensor b({3, 2});
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  for (int i = 0; i < 6; ++i) {
+    a[i] = static_cast<float>(i + 1);
+    b[i] = static_cast<float>(i + 7);
+  }
+  Tensor out({2, 2});
+  MatMul(a, b, out);
+  EXPECT_FLOAT_EQ(out.at2(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(out.at2(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(out.at2(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(out.at2(1, 1), 154.0f);
+}
+
+TEST(OpsTest, MatMulTransposedBMatchesMatMul) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn({5, 7}, rng);
+  Tensor b = Tensor::Randn({7, 6}, rng);
+  // bt[n,k] = b[k,n]^T
+  Tensor bt({6, 7});
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      bt.at2(j, i) = b.at2(i, j);
+    }
+  }
+  Tensor ref({5, 6});
+  Tensor out({5, 6});
+  MatMul(a, b, ref);
+  MatMulTransposedB(a, bt, out);
+  EXPECT_TRUE(AllClose(out, ref, 1e-5f, 1e-6f));
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  Tensor t = Tensor::Randn({4, 16}, rng, 3.0f);
+  SoftmaxRows(t);
+  for (std::size_t r = 0; r < 4; ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 16; ++c) {
+      const float v = t.at2(r, c);
+      EXPECT_GE(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, SoftmaxIsShiftInvariant) {
+  Tensor a({1, 4});
+  Tensor b({1, 4});
+  for (int i = 0; i < 4; ++i) {
+    a[i] = static_cast<float>(i);
+    b[i] = static_cast<float>(i) + 100.0f;  // stability: huge shift
+  }
+  SoftmaxRows(a);
+  SoftmaxRows(b);
+  EXPECT_TRUE(AllClose(a, b, 1e-5f, 1e-6f));
+}
+
+TEST(OpsTest, RmsNormUnitWeightNormalises) {
+  Tensor x({1, 4});
+  x[0] = 1.0f;
+  x[1] = 2.0f;
+  x[2] = 3.0f;
+  x[3] = 4.0f;
+  std::vector<float> w(4, 1.0f);
+  Tensor out({1, 4});
+  RmsNormRows(x, w, out, 0.0f);
+  const float rms = std::sqrt((1.0f + 4.0f + 9.0f + 16.0f) / 4.0f);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(out[i], x[i] / rms, 1e-5f);
+  }
+}
+
+TEST(OpsTest, SiluKnownValues) {
+  Tensor t({1, 3});
+  t[0] = 0.0f;
+  t[1] = 10.0f;
+  t[2] = -10.0f;
+  SiluInPlace(t);
+  EXPECT_NEAR(t[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(t[1], 10.0f, 1e-3f);   // silu(10) ~ 10
+  EXPECT_NEAR(t[2], 0.0f, 1e-3f);    // silu(-10) ~ 0
+}
+
+TEST(OpsTest, ElementwiseAddMul) {
+  Tensor a({1, 3});
+  Tensor b({1, 3});
+  for (int i = 0; i < 3; ++i) {
+    a[i] = static_cast<float>(i + 1);
+    b[i] = 2.0f;
+  }
+  Tensor out({1, 3});
+  Add(a, b, out);
+  EXPECT_FLOAT_EQ(out[2], 5.0f);
+  AddInPlace(a, b);
+  EXPECT_FLOAT_EQ(a[0], 3.0f);
+  MulInPlace(a, b);
+  EXPECT_FLOAT_EQ(a[0], 6.0f);
+}
+
+TEST(OpsTest, DotAndAxpy) {
+  const std::vector<float> x = {1.0f, 2.0f, 3.0f};
+  std::vector<float> y = {4.0f, 5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(Dot(x, y), 32.0f);
+  Axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_FLOAT_EQ(y[2], 12.0f);
+}
+
+TEST(OpsTest, LogSumExpStable) {
+  const std::vector<float> row = {1000.0f, 1000.0f};
+  EXPECT_NEAR(LogSumExp(row), 1000.0f + std::log(2.0f), 1e-3f);
+  const std::vector<float> row2 = {0.0f};
+  EXPECT_NEAR(LogSumExp(row2), 0.0f, 1e-6f);
+}
+
+TEST(OpsTest, MaxAbsDiff) {
+  Tensor a({1, 3});
+  Tensor b({1, 3});
+  a[1] = 2.0f;
+  b[1] = -1.0f;
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 3.0f);
+}
+
+// Property sweep: MatMulTransposedB against a plain triple loop, across
+// shapes.
+class MatMulShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapes, AgreesWithNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 10000 + k * 100 + n));
+  Tensor a = Tensor::Randn({static_cast<std::size_t>(m), static_cast<std::size_t>(k)}, rng);
+  Tensor bt = Tensor::Randn({static_cast<std::size_t>(n), static_cast<std::size_t>(k)}, rng);
+  Tensor out({static_cast<std::size_t>(m), static_cast<std::size_t>(n)});
+  MatMulTransposedB(a, bt, out);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) {
+        acc += a.at2(i, kk) * bt.at2(j, kk);
+      }
+      EXPECT_NEAR(out.at2(i, j), acc, 1e-4f) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatMulShapes,
+                         ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 8, 3),
+                                           std::make_tuple(5, 3, 7), std::make_tuple(16, 32, 8),
+                                           std::make_tuple(3, 64, 64)));
+
+}  // namespace
+}  // namespace ca

@@ -1,0 +1,184 @@
+// Timing model tests, calibrated against the constants the paper publishes
+// (§2.4): LLaMA-65B prefill of 2K tokens ~= 360 ms on 4 A100s; its 5 GB KV
+// cache loads over 26 GB/s PCIe in ~192 ms. Plus the layer-wise pre-loading
+// overlap formulas of §3.2.
+#include <gtest/gtest.h>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/timing_model.h"
+
+namespace ca {
+namespace {
+
+TimingModel Llama65() { return TimingModel(ModelDescriptor::Llama65B(), HardwareConfig()); }
+TimingModel Llama13() { return TimingModel(ModelDescriptor::Llama13B(), HardwareConfig()); }
+
+TEST(TimingModelTest, PrefillCalibration65B) {
+  // Paper §2.4: "prefilling 2K tokens of a prompt consumes about 360 ms".
+  const SimTime t = Llama65().PrefillTime(2048);
+  EXPECT_NEAR(ToMilliseconds(t), 360.0, 40.0);
+}
+
+TEST(TimingModelTest, KvLoadCalibration65B) {
+  // Paper §2.4: "loading the KV cache of the 2K tokens (5 GB) ... about
+  // 192 ms" over 26 GB/s PCIe.
+  const TimingModel tm = Llama65();
+  const std::uint64_t bytes = tm.KvBytes(2048);
+  EXPECT_NEAR(static_cast<double>(bytes) / 1e9, 5.0, 0.5);
+  EXPECT_NEAR(ToMilliseconds(tm.HostToHbm(bytes)), 192.0, 25.0);
+}
+
+TEST(TimingModelTest, PrefillLinearInTokens) {
+  const TimingModel tm = Llama13();
+  const SimTime t1 = tm.PrefillTime(512);
+  const SimTime t2 = tm.PrefillTime(1024);
+  EXPECT_NEAR(static_cast<double>(t2) / static_cast<double>(t1), 2.0, 0.01);
+  EXPECT_EQ(tm.PrefillTime(0), 0);
+}
+
+// Fig. 1b: decode iteration time is nearly flat in context length (weights
+// dominate), while prefill grows linearly.
+TEST(TimingModelTest, DecodeNearlyFlatVsContext) {
+  const TimingModel tm(ModelDescriptor::Llama70B(), HardwareConfig());
+  const SimTime short_ctx = tm.DecodeIterTime(8, 256);
+  const SimTime long_ctx = tm.DecodeIterTime(8, 4096);
+  EXPECT_LT(static_cast<double>(long_ctx) / static_cast<double>(short_ctx), 1.2);
+  EXPECT_GT(long_ctx, short_ctx);  // but strictly increasing
+}
+
+TEST(TimingModelTest, DecodeScalesWithGpus) {
+  HardwareConfig hw;
+  ModelDescriptor one_gpu = ModelDescriptor::Llama13B();
+  one_gpu.num_gpus = 1;
+  ModelDescriptor two_gpu = ModelDescriptor::Llama13B();
+  two_gpu.num_gpus = 2;
+  const SimTime t1 = TimingModel(one_gpu, hw).DecodeIterTime(8, 1024);
+  const SimTime t2 = TimingModel(two_gpu, hw).DecodeIterTime(8, 1024);
+  EXPECT_NEAR(static_cast<double>(t1) / static_cast<double>(t2), 2.0, 0.01);
+}
+
+TEST(TimingModelTest, TransferTimesMatchBandwidths) {
+  const TimingModel tm = Llama13();
+  const HardwareConfig hw;
+  EXPECT_NEAR(ToSeconds(tm.HostToHbm(static_cast<std::uint64_t>(hw.pcie_bandwidth))), 1.0,
+              1e-6);
+  EXPECT_NEAR(ToSeconds(tm.DiskToDram(static_cast<std::uint64_t>(hw.ssd_read_bandwidth))), 1.0,
+              1e-6);
+  EXPECT_GT(tm.DiskToDram(GiB(1)), tm.HostToHbm(GiB(1)));  // SSD slower than PCIe
+}
+
+// --- layer-wise pre-loading (§3.2.1, Figs. 6-7, 19) ---------------------
+
+TEST(OverlapTest, NoPreloadIsLoadPlusCompute) {
+  const TimingModel tm = Llama13();
+  const SimTime t = tm.OverlappedPrefill(1024, 100, 0, /*preload=*/false);
+  EXPECT_EQ(t, tm.HostToHbm(tm.KvBytes(1024)) + tm.PrefillTime(100));
+}
+
+TEST(OverlapTest, PreloadNeverSlowerAndNeverBeatsBothBounds) {
+  const TimingModel tm = Llama13();
+  const SimTime no_pl = tm.OverlappedPrefill(1024, 100, 0, false);
+  const SimTime pl = tm.OverlappedPrefill(1024, 100, 0, true);
+  EXPECT_LE(pl, no_pl);
+  EXPECT_GE(pl, tm.PrefillTime(100));
+}
+
+// Fig. 19's shape: prefill time decreases monotonically with the read
+// buffer until the loading is fully hidden.
+TEST(OverlapTest, LargerReadBufferMonotonicallyHelps) {
+  const TimingModel tm = Llama13();
+  SimTime prev = tm.OverlappedPrefill(1024, 100, 0, true);
+  bool reached_floor = false;
+  for (std::size_t buf : {1UL, 2UL, 5UL, 10UL, 15UL, 20UL, 40UL}) {
+    const SimTime t = tm.OverlappedPrefill(1024, 100, buf, true);
+    EXPECT_LE(t, prev) << "buffer " << buf;
+    prev = t;
+    if (t <= tm.PrefillTime(100) + tm.PrefillTime(100) / 10) {
+      reached_floor = true;
+    }
+  }
+  EXPECT_TRUE(reached_floor) << "a large enough buffer must hide the load entirely";
+}
+
+TEST(OverlapTest, ComputeBoundCaseNeedsNoBuffer) {
+  const TimingModel tm = Llama13();
+  // Tiny history, large new input: T_load << T_pref, overlap is perfect
+  // modulo the single-layer pipeline fill.
+  const SimTime t = tm.OverlappedPrefill(16, 2048, 0, true);
+  const SimTime floor = tm.PrefillTime(2048);
+  EXPECT_LT(static_cast<double>(t - floor) / static_cast<double>(floor), 0.05);
+}
+
+TEST(OverlapTest, PerfectBufferFormulaMatchesPaper) {
+  const TimingModel tm = Llama13();
+  // S_buf = B * (T_load*L_hist - T_pref*L_new) when loading dominates.
+  const std::uint64_t buf = tm.PerfectReadBufferBytes(1024, 100);
+  const double expected_s =
+      ToSeconds(tm.HostToHbm(tm.KvBytes(1024))) - ToSeconds(tm.PrefillTime(100));
+  EXPECT_NEAR(static_cast<double>(buf) / HardwareConfig().pcie_bandwidth, expected_s, 1e-6);
+  // Compute-bound direction: no buffer needed.
+  EXPECT_EQ(tm.PerfectReadBufferBytes(16, 2048), 0ULL);
+}
+
+// --- asynchronous saving (§3.2.2, Fig. 20) -------------------------------
+
+TEST(SaveStallTest, SynchronousPaysFullWrite) {
+  const TimingModel tm = Llama13();
+  const std::uint64_t bytes = tm.KvBytes(1200);
+  EXPECT_EQ(tm.SaveStall(bytes, 0, 0), tm.HbmToHost(bytes));
+}
+
+TEST(SaveStallTest, OverlapEliminatesStall) {
+  const TimingModel tm = Llama13();
+  const std::uint64_t bytes = tm.KvBytes(1200);
+  const SimTime write = tm.HbmToHost(bytes);
+  EXPECT_EQ(tm.SaveStall(bytes, write * 2, 0), 0);        // long decode hides it
+  EXPECT_EQ(tm.SaveStall(bytes, 0, bytes), 0);            // buffer absorbs it
+  EXPECT_GT(tm.SaveStall(bytes, write / 2, 0), 0);        // partial overlap
+  EXPECT_LT(tm.SaveStall(bytes, write / 2, 0), write);
+}
+
+// --- cost model (§4.2) ----------------------------------------------------
+
+TEST(CostModelTest, PaperPrices) {
+  PricingConfig pricing;
+  // 4 GPUs busy for 2 hours: 8 GPU-hours * $5.
+  const CostBreakdown cost =
+      ComputeCost(pricing, 4, 2 * kHour, /*dram_bytes=*/128000000000ULL,
+                  /*ssd_bytes=*/10000000000000ULL, /*wall_time=*/10 * kHour);
+  EXPECT_NEAR(cost.gpu, 40.0, 1e-9);
+  EXPECT_NEAR(cost.dram, 128.0 * 10 * 0.0088, 1e-6);
+  EXPECT_NEAR(cost.ssd, 10000.0 * 10 * 0.000082, 1e-6);
+  EXPECT_NEAR(cost.total(), cost.gpu + cost.dram + cost.ssd, 1e-12);
+  EXPECT_GT(cost.storage_fraction(), 0.0);
+  EXPECT_LT(cost.storage_fraction(), 0.5);
+}
+
+TEST(CostModelTest, ZeroIsZero) {
+  const CostBreakdown cost = ComputeCost(PricingConfig{}, 4, 0, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(cost.total(), 0.0);
+  EXPECT_DOUBLE_EQ(cost.storage_fraction(), 0.0);
+}
+
+// Parameterised property: for every evaluation model, overlapped prefill is
+// bounded below by the compute floor and above by the no-preload sum.
+class OverlapBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverlapBounds, RespectsBounds) {
+  const auto models = ModelDescriptor::EvaluationSuite();
+  const TimingModel tm(models[static_cast<std::size_t>(GetParam())], HardwareConfig());
+  for (const std::uint64_t hist : {0ULL, 128ULL, 1024ULL, 4096ULL}) {
+    for (const std::uint64_t fresh : {1ULL, 100ULL, 2048ULL}) {
+      for (const std::size_t buf : {0UL, 8UL, 64UL}) {
+        const SimTime t = tm.OverlappedPrefill(hist, fresh, buf, true);
+        EXPECT_GE(t, tm.PrefillTime(fresh));
+        EXPECT_LE(t, tm.HostToHbm(tm.KvBytes(hist)) + tm.PrefillTime(fresh));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, OverlapBounds, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace ca

@@ -1,0 +1,166 @@
+// Workload generator tests: the synthetic ShareGPT marginals the paper's
+// experiments depend on (§2.3, Fig. 2), Poisson arrivals, and trace I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/workload/arrivals.h"
+#include "src/workload/sharegpt.h"
+#include "src/workload/trace_io.h"
+
+namespace ca {
+namespace {
+
+std::vector<SessionTrace> Sample(std::size_t n, std::uint64_t seed = 7) {
+  ShareGptGenerator gen(ShareGptConfig{}, seed);
+  return gen.Generate(n);
+}
+
+TEST(ShareGptTest, DeterministicForSeed) {
+  const auto a = Sample(50, 3);
+  const auto b = Sample(50, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].turns.size(), b[i].turns.size());
+    for (std::size_t j = 0; j < a[i].turns.size(); ++j) {
+      EXPECT_EQ(a[i].turns[j].q_tokens, b[i].turns[j].q_tokens);
+      EXPECT_EQ(a[i].turns[j].a_tokens, b[i].turns[j].a_tokens);
+    }
+  }
+}
+
+TEST(ShareGptTest, StructureIsWellFormed) {
+  for (const auto& s : Sample(200)) {
+    ASSERT_GE(s.turns.size(), 1U);
+    ASSERT_LE(s.turns.size(), ShareGptConfig{}.max_turns);
+    ASSERT_EQ(s.think_times.size(), s.turns.size());
+    EXPECT_EQ(s.think_times[0], 0);
+    for (std::size_t j = 1; j < s.think_times.size(); ++j) {
+      EXPECT_GE(s.think_times[j], 0);
+    }
+    for (const Turn& t : s.turns) {
+      EXPECT_GE(t.q_tokens, 4U);
+      EXPECT_GE(t.a_tokens, 4U);
+      EXPECT_LE(t.q_tokens, ShareGptConfig{}.max_turn_tokens);
+    }
+  }
+}
+
+// The published ShareGPT marginals (§2.3): 73% multi-turn, mean 5.75
+// turns/session, 47% of sessions > 2K tokens, 30% > 4K tokens. The
+// generator must land inside tolerance bands around them.
+TEST(ShareGptTest, MatchesPaperMarginals) {
+  const auto sessions = Sample(20000);
+  const WorkloadSummary s = Summarize(sessions);
+  EXPECT_NEAR(s.multi_turn_fraction, 0.73, 0.02);
+  EXPECT_NEAR(s.mean_turns, 5.75, 0.40);
+  EXPECT_NEAR(s.frac_sessions_over_2k, 0.47, 0.08);
+  EXPECT_NEAR(s.frac_sessions_over_4k, 0.30, 0.08);
+}
+
+// Fig. 4a: historical tokens dominate in later turns (>99% by turn ~10).
+TEST(ShareGptTest, HistoricalTokensDominateLaterTurns) {
+  const auto sessions = Sample(20000);
+  double hist_sum = 0.0;
+  double new_sum = 0.0;
+  for (const auto& s : sessions) {
+    std::uint64_t hist = 0;
+    for (std::size_t j = 0; j < s.turns.size(); ++j) {
+      if (j >= 9) {  // turn 10+
+        hist_sum += hist;
+        new_sum += s.turns[j].q_tokens;
+      }
+      hist += s.turns[j].total();
+    }
+  }
+  ASSERT_GT(new_sum, 0.0);
+  const double hist_frac = hist_sum / (hist_sum + new_sum);
+  EXPECT_GT(hist_frac, 0.95);
+}
+
+TEST(SummarizeTest, EmptyAndSingle) {
+  EXPECT_EQ(Summarize({}).sessions, 0U);
+  SessionTrace t;
+  t.id = 0;
+  t.turns = {Turn{.q_tokens = 10, .a_tokens = 20}};
+  t.think_times = {0};
+  const WorkloadSummary s = Summarize({t});
+  EXPECT_EQ(s.sessions, 1U);
+  EXPECT_DOUBLE_EQ(s.mean_turns, 1.0);
+  EXPECT_DOUBLE_EQ(s.multi_turn_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_session_tokens, 30.0);
+}
+
+TEST(ArrivalsTest, MeanRateMatchesLambda) {
+  PoissonArrivals arrivals(2.0, 5);  // 2 sessions/s
+  SimTime t = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    t = arrivals.Next(t);
+  }
+  const double rate = n / ToSeconds(t);
+  EXPECT_NEAR(rate, 2.0, 0.1);
+}
+
+TEST(ArrivalsTest, StrictlyIncreasing) {
+  PoissonArrivals arrivals(1000.0, 6);  // very fast: gaps may round to ~ns
+  SimTime t = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime next = arrivals.Next(t);
+    EXPECT_GT(next, t);
+    t = next;
+  }
+}
+
+TEST(ArrivalsTest, AssignArrivalsIsMonotoneAcrossSessions) {
+  auto sessions = Sample(100);
+  AssignArrivals(sessions, 1.0, 9);
+  for (std::size_t i = 1; i < sessions.size(); ++i) {
+    EXPECT_GT(sessions[i].arrival, sessions[i - 1].arrival);
+  }
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  auto sessions = Sample(20, 11);
+  AssignArrivals(sessions, 1.0, 12);
+  const std::string path = testing::TempDir() + "/ca_trace_test.csv";
+  ASSERT_TRUE(SaveTraceCsv(sessions, path).ok());
+  auto loaded = LoadTraceCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), sessions.size());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const SessionTrace& a = sessions[i];
+    const SessionTrace& b = (*loaded)[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.arrival, b.arrival);
+    ASSERT_EQ(a.turns.size(), b.turns.size());
+    for (std::size_t j = 0; j < a.turns.size(); ++j) {
+      EXPECT_EQ(a.turns[j].q_tokens, b.turns[j].q_tokens);
+      EXPECT_EQ(a.turns[j].a_tokens, b.turns[j].a_tokens);
+      EXPECT_EQ(a.think_times[j], b.think_times[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadTraceCsv("/nonexistent/path.csv").ok());
+}
+
+// Parameterised sweep: marginals stay in band across seeds (the generator
+// must not be calibrated to one lucky seed).
+class WorkloadSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorkloadSeedSweep, MarginalsStable) {
+  const auto sessions = Sample(8000, GetParam());
+  const WorkloadSummary s = Summarize(sessions);
+  EXPECT_NEAR(s.multi_turn_fraction, 0.73, 0.03);
+  EXPECT_NEAR(s.mean_turns, 5.75, 0.5);
+  EXPECT_NEAR(s.frac_sessions_over_4k, 0.30, 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadSeedSweep,
+                         ::testing::Values(1ULL, 17ULL, 123ULL, 9999ULL));
+
+}  // namespace
+}  // namespace ca
