@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prefill_overhead.dir/ablation_prefill_overhead.cc.o"
+  "CMakeFiles/ablation_prefill_overhead.dir/ablation_prefill_overhead.cc.o.d"
+  "ablation_prefill_overhead"
+  "ablation_prefill_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefill_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

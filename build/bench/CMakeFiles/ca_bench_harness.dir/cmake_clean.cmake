@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_bench_harness.dir/harness/harness.cc.o"
+  "CMakeFiles/ca_bench_harness.dir/harness/harness.cc.o.d"
+  "libca_bench_harness.a"
+  "libca_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

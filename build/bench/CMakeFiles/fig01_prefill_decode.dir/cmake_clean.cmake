@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_prefill_decode.dir/fig01_prefill_decode.cc.o"
+  "CMakeFiles/fig01_prefill_decode.dir/fig01_prefill_decode.cc.o.d"
+  "fig01_prefill_decode"
+  "fig01_prefill_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_prefill_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_workload_stats.dir/fig02_workload_stats.cc.o"
+  "CMakeFiles/fig02_workload_stats.dir/fig02_workload_stats.cc.o.d"
+  "fig02_workload_stats"
+  "fig02_workload_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_workload_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_recompute_inefficiency.dir/fig04_recompute_inefficiency.cc.o"
+  "CMakeFiles/fig04_recompute_inefficiency.dir/fig04_recompute_inefficiency.cc.o.d"
+  "fig04_recompute_inefficiency"
+  "fig04_recompute_inefficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_recompute_inefficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_hit_rate.dir/fig13_hit_rate.cc.o"
+  "CMakeFiles/fig13_hit_rate.dir/fig13_hit_rate.cc.o.d"
+  "fig13_hit_rate"
+  "fig13_hit_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hit_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_ttft.dir/fig14_ttft.cc.o"
+  "CMakeFiles/fig14_ttft.dir/fig14_ttft.cc.o.d"
+  "fig14_ttft"
+  "fig14_ttft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ttft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_gpu_time.dir/fig16_gpu_time.cc.o"
+  "CMakeFiles/fig16_gpu_time.dir/fig16_gpu_time.cc.o.d"
+  "fig16_gpu_time"
+  "fig16_gpu_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_gpu_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

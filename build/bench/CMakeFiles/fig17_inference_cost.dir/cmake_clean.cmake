@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_inference_cost.dir/fig17_inference_cost.cc.o"
+  "CMakeFiles/fig17_inference_cost.dir/fig17_inference_cost.cc.o.d"
+  "fig17_inference_cost"
+  "fig17_inference_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_inference_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

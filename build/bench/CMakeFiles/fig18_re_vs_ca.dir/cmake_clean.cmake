@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_re_vs_ca.dir/fig18_re_vs_ca.cc.o"
+  "CMakeFiles/fig18_re_vs_ca.dir/fig18_re_vs_ca.cc.o.d"
+  "fig18_re_vs_ca"
+  "fig18_re_vs_ca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_re_vs_ca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

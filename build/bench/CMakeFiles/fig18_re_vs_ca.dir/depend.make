@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_re_vs_ca.
+# This may be replaced when dependencies are built.

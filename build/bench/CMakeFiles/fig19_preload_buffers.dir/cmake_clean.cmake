@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_preload_buffers.dir/fig19_preload_buffers.cc.o"
+  "CMakeFiles/fig19_preload_buffers.dir/fig19_preload_buffers.cc.o.d"
+  "fig19_preload_buffers"
+  "fig19_preload_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_preload_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_async_saving.dir/fig20_async_saving.cc.o"
+  "CMakeFiles/fig20_async_saving.dir/fig20_async_saving.cc.o.d"
+  "fig20_async_saving"
+  "fig20_async_saving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_async_saving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

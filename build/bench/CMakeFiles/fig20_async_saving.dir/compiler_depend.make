@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig20_async_saving.
+# This may be replaced when dependencies are built.

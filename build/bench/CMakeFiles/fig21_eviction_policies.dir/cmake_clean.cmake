@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_eviction_policies.dir/fig21_eviction_policies.cc.o"
+  "CMakeFiles/fig21_eviction_policies.dir/fig21_eviction_policies.cc.o.d"
+  "fig21_eviction_policies"
+  "fig21_eviction_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_eviction_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_context_overflow.dir/fig22_context_overflow.cc.o"
+  "CMakeFiles/fig22_context_overflow.dir/fig22_context_overflow.cc.o.d"
+  "fig22_context_overflow"
+  "fig22_context_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_context_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_capacity_requirement.dir/fig23_capacity_requirement.cc.o"
+  "CMakeFiles/fig23_capacity_requirement.dir/fig23_capacity_requirement.cc.o.d"
+  "fig23_capacity_requirement"
+  "fig23_capacity_requirement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_capacity_requirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

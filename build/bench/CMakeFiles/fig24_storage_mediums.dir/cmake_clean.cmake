@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_storage_mediums.dir/fig24_storage_mediums.cc.o"
+  "CMakeFiles/fig24_storage_mediums.dir/fig24_storage_mediums.cc.o.d"
+  "fig24_storage_mediums"
+  "fig24_storage_mediums.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_storage_mediums.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig25_arrival_rates.cc" "bench/CMakeFiles/fig25_arrival_rates.dir/fig25_arrival_rates.cc.o" "gcc" "bench/CMakeFiles/fig25_arrival_rates.dir/fig25_arrival_rates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ca_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ca_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ca_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ca_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ca_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/ca_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_arrival_rates.dir/fig25_arrival_rates.cc.o"
+  "CMakeFiles/fig25_arrival_rates.dir/fig25_arrival_rates.cc.o.d"
+  "fig25_arrival_rates"
+  "fig25_arrival_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_arrival_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

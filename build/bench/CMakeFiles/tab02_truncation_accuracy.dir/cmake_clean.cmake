@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_truncation_accuracy.dir/tab02_truncation_accuracy.cc.o"
+  "CMakeFiles/tab02_truncation_accuracy.dir/tab02_truncation_accuracy.cc.o.d"
+  "tab02_truncation_accuracy"
+  "tab02_truncation_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_truncation_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

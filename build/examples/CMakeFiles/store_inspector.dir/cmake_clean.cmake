@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_inspector.dir/store_inspector.cpp.o"
+  "CMakeFiles/store_inspector.dir/store_inspector.cpp.o.d"
+  "store_inspector"
+  "store_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

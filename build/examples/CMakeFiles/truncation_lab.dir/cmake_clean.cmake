@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truncation_lab.dir/truncation_lab.cpp.o"
+  "CMakeFiles/truncation_lab.dir/truncation_lab.cpp.o.d"
+  "truncation_lab"
+  "truncation_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truncation_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

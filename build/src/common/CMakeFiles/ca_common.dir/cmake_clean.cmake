@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_common.dir/logging.cc.o"
+  "CMakeFiles/ca_common.dir/logging.cc.o.d"
+  "CMakeFiles/ca_common.dir/stats.cc.o"
+  "CMakeFiles/ca_common.dir/stats.cc.o.d"
+  "CMakeFiles/ca_common.dir/status.cc.o"
+  "CMakeFiles/ca_common.dir/status.cc.o.d"
+  "CMakeFiles/ca_common.dir/table.cc.o"
+  "CMakeFiles/ca_common.dir/table.cc.o.d"
+  "CMakeFiles/ca_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ca_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/ca_common.dir/units.cc.o"
+  "CMakeFiles/ca_common.dir/units.cc.o.d"
+  "libca_common.a"
+  "libca_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

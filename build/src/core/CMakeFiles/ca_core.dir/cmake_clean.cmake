@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_core.dir/cached_attention.cc.o"
+  "CMakeFiles/ca_core.dir/cached_attention.cc.o.d"
+  "libca_core.a"
+  "libca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

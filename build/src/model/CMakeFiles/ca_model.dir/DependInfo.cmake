@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/checkpoint.cc" "src/model/CMakeFiles/ca_model.dir/checkpoint.cc.o" "gcc" "src/model/CMakeFiles/ca_model.dir/checkpoint.cc.o.d"
+  "/root/repo/src/model/compression.cc" "src/model/CMakeFiles/ca_model.dir/compression.cc.o" "gcc" "src/model/CMakeFiles/ca_model.dir/compression.cc.o.d"
+  "/root/repo/src/model/config.cc" "src/model/CMakeFiles/ca_model.dir/config.cc.o" "gcc" "src/model/CMakeFiles/ca_model.dir/config.cc.o.d"
+  "/root/repo/src/model/eval.cc" "src/model/CMakeFiles/ca_model.dir/eval.cc.o" "gcc" "src/model/CMakeFiles/ca_model.dir/eval.cc.o.d"
+  "/root/repo/src/model/kv_cache.cc" "src/model/CMakeFiles/ca_model.dir/kv_cache.cc.o" "gcc" "src/model/CMakeFiles/ca_model.dir/kv_cache.cc.o.d"
+  "/root/repo/src/model/rope.cc" "src/model/CMakeFiles/ca_model.dir/rope.cc.o" "gcc" "src/model/CMakeFiles/ca_model.dir/rope.cc.o.d"
+  "/root/repo/src/model/tokenizer.cc" "src/model/CMakeFiles/ca_model.dir/tokenizer.cc.o" "gcc" "src/model/CMakeFiles/ca_model.dir/tokenizer.cc.o.d"
+  "/root/repo/src/model/transformer.cc" "src/model/CMakeFiles/ca_model.dir/transformer.cc.o" "gcc" "src/model/CMakeFiles/ca_model.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ca_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_model.dir/checkpoint.cc.o"
+  "CMakeFiles/ca_model.dir/checkpoint.cc.o.d"
+  "CMakeFiles/ca_model.dir/compression.cc.o"
+  "CMakeFiles/ca_model.dir/compression.cc.o.d"
+  "CMakeFiles/ca_model.dir/config.cc.o"
+  "CMakeFiles/ca_model.dir/config.cc.o.d"
+  "CMakeFiles/ca_model.dir/eval.cc.o"
+  "CMakeFiles/ca_model.dir/eval.cc.o.d"
+  "CMakeFiles/ca_model.dir/kv_cache.cc.o"
+  "CMakeFiles/ca_model.dir/kv_cache.cc.o.d"
+  "CMakeFiles/ca_model.dir/rope.cc.o"
+  "CMakeFiles/ca_model.dir/rope.cc.o.d"
+  "CMakeFiles/ca_model.dir/tokenizer.cc.o"
+  "CMakeFiles/ca_model.dir/tokenizer.cc.o.d"
+  "CMakeFiles/ca_model.dir/transformer.cc.o"
+  "CMakeFiles/ca_model.dir/transformer.cc.o.d"
+  "libca_model.a"
+  "libca_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

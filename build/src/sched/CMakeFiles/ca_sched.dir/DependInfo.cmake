@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/batcher.cc" "src/sched/CMakeFiles/ca_sched.dir/batcher.cc.o" "gcc" "src/sched/CMakeFiles/ca_sched.dir/batcher.cc.o.d"
+  "/root/repo/src/sched/job_queue.cc" "src/sched/CMakeFiles/ca_sched.dir/job_queue.cc.o" "gcc" "src/sched/CMakeFiles/ca_sched.dir/job_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/ca_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

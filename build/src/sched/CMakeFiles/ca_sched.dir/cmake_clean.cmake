@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_sched.dir/batcher.cc.o"
+  "CMakeFiles/ca_sched.dir/batcher.cc.o.d"
+  "CMakeFiles/ca_sched.dir/job_queue.cc.o"
+  "CMakeFiles/ca_sched.dir/job_queue.cc.o.d"
+  "libca_sched.a"
+  "libca_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

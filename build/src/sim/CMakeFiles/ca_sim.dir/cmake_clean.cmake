@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_sim.dir/cluster_sim.cc.o"
+  "CMakeFiles/ca_sim.dir/cluster_sim.cc.o.d"
+  "CMakeFiles/ca_sim.dir/cost_model.cc.o"
+  "CMakeFiles/ca_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/ca_sim.dir/timing_model.cc.o"
+  "CMakeFiles/ca_sim.dir/timing_model.cc.o.d"
+  "libca_sim.a"
+  "libca_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

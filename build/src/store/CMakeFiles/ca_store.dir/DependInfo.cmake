@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/attention_store.cc" "src/store/CMakeFiles/ca_store.dir/attention_store.cc.o" "gcc" "src/store/CMakeFiles/ca_store.dir/attention_store.cc.o.d"
+  "/root/repo/src/store/block_allocator.cc" "src/store/CMakeFiles/ca_store.dir/block_allocator.cc.o" "gcc" "src/store/CMakeFiles/ca_store.dir/block_allocator.cc.o.d"
+  "/root/repo/src/store/block_storage.cc" "src/store/CMakeFiles/ca_store.dir/block_storage.cc.o" "gcc" "src/store/CMakeFiles/ca_store.dir/block_storage.cc.o.d"
+  "/root/repo/src/store/eviction_policy.cc" "src/store/CMakeFiles/ca_store.dir/eviction_policy.cc.o" "gcc" "src/store/CMakeFiles/ca_store.dir/eviction_policy.cc.o.d"
+  "/root/repo/src/store/prefetcher.cc" "src/store/CMakeFiles/ca_store.dir/prefetcher.cc.o" "gcc" "src/store/CMakeFiles/ca_store.dir/prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

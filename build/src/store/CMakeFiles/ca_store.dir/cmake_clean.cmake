@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_store.dir/attention_store.cc.o"
+  "CMakeFiles/ca_store.dir/attention_store.cc.o.d"
+  "CMakeFiles/ca_store.dir/block_allocator.cc.o"
+  "CMakeFiles/ca_store.dir/block_allocator.cc.o.d"
+  "CMakeFiles/ca_store.dir/block_storage.cc.o"
+  "CMakeFiles/ca_store.dir/block_storage.cc.o.d"
+  "CMakeFiles/ca_store.dir/eviction_policy.cc.o"
+  "CMakeFiles/ca_store.dir/eviction_policy.cc.o.d"
+  "CMakeFiles/ca_store.dir/prefetcher.cc.o"
+  "CMakeFiles/ca_store.dir/prefetcher.cc.o.d"
+  "libca_store.a"
+  "libca_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_tensor.dir/ops.cc.o"
+  "CMakeFiles/ca_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/ca_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ca_tensor.dir/tensor.cc.o.d"
+  "libca_tensor.a"
+  "libca_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

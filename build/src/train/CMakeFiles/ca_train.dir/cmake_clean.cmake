@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_train.dir/markov_data.cc.o"
+  "CMakeFiles/ca_train.dir/markov_data.cc.o.d"
+  "CMakeFiles/ca_train.dir/trained_lm.cc.o"
+  "CMakeFiles/ca_train.dir/trained_lm.cc.o.d"
+  "CMakeFiles/ca_train.dir/trainer.cc.o"
+  "CMakeFiles/ca_train.dir/trainer.cc.o.d"
+  "libca_train.a"
+  "libca_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_workload.dir/arrivals.cc.o"
+  "CMakeFiles/ca_workload.dir/arrivals.cc.o.d"
+  "CMakeFiles/ca_workload.dir/sharegpt.cc.o"
+  "CMakeFiles/ca_workload.dir/sharegpt.cc.o.d"
+  "CMakeFiles/ca_workload.dir/trace_io.cc.o"
+  "CMakeFiles/ca_workload.dir/trace_io.cc.o.d"
+  "libca_workload.a"
+  "libca_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

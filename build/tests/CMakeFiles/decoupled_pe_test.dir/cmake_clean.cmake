@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoupled_pe_test.dir/decoupled_pe_test.cc.o"
+  "CMakeFiles/decoupled_pe_test.dir/decoupled_pe_test.cc.o.d"
+  "decoupled_pe_test"
+  "decoupled_pe_test.pdb"
+  "decoupled_pe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoupled_pe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

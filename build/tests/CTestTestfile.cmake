@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/rope_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/transformer_test[1]_include.cmake")
+include("/root/repo/build/tests/decoupled_pe_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/eviction_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/prefetcher_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_model_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/compression_test[1]_include.cmake")
+include("/root/repo/build/tests/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
