@@ -1,0 +1,81 @@
+// Annotated wrappers over the std synchronization primitives.
+//
+// Clang's thread-safety analysis only tracks lock operations whose types
+// carry capability attributes; libstdc++'s std::mutex does not. These thin
+// wrappers add the attributes (zero overhead: every method is an inline
+// forward) so CA_GUARDED_BY / CA_REQUIRES contracts are machine-checked on
+// Clang builds. See src/common/thread_annotations.h.
+#ifndef CA_COMMON_MUTEX_H_
+#define CA_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "src/common/thread_annotations.h"
+
+namespace ca {
+
+// Annotated std::mutex.
+class CA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CA_ACQUIRE() { mu_.lock(); }
+  void Unlock() CA_RELEASE() { mu_.unlock(); }
+
+  // Tells the analysis (not the runtime) that this mutex is held. Use inside
+  // lambdas that are only ever invoked with the lock held, where the
+  // analysis cannot see the acquisition across the call boundary.
+  void AssertHeld() const CA_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock for ca::Mutex (the annotated std::lock_guard).
+class CA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CA_ACQUIRE(mu) : mu_(&mu) { mu_->Lock(); }
+  ~MutexLock() CA_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+// Condition variable usable with ca::Mutex. Wait() must be called with the
+// mutex held (enforced by the analysis); it atomically releases the mutex
+// while blocked and re-holds it on return, exactly like
+// std::condition_variable::wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) CA_REQUIRES(mu) {
+    // Adopt the already-held mutex into a unique_lock for the wait, then
+    // release the unique_lock's ownership so the caller's (annotated)
+    // holding of `mu` stays accurate.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ca
+
+#endif  // CA_COMMON_MUTEX_H_

@@ -1,0 +1,58 @@
+// Clang thread-safety-analysis annotations (no-ops on other compilers).
+//
+// These macros let the compiler prove lock discipline at build time: a
+// member declared CA_GUARDED_BY(mu) may only be touched while `mu` is held,
+// a function declared CA_REQUIRES(mu) may only be called with `mu` held, and
+// so on. The build enables `-Wthread-safety -Werror=thread-safety` whenever
+// the compiler is Clang, so violations are compile errors there; GCC builds
+// compile the annotations away.
+//
+// The analysis only understands annotated lock types, so concurrency-bearing
+// code uses ca::Mutex / ca::MutexLock / ca::CondVar (src/common/mutex.h)
+// rather than the std primitives directly.
+#ifndef CA_COMMON_THREAD_ANNOTATIONS_H_
+#define CA_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define CA_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define CA_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+// On classes: marks a type as a lock ("capability").
+#define CA_CAPABILITY(x) CA_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// On classes: an RAII object that acquires a capability in its constructor
+// and releases it in its destructor.
+#define CA_SCOPED_CAPABILITY CA_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// On data members: the member may only be accessed while `x` is held.
+#define CA_GUARDED_BY(x) CA_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// On pointer members: the pointed-to data is protected by `x`.
+#define CA_PT_GUARDED_BY(x) CA_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// On functions: the caller must hold the listed capabilities.
+#define CA_REQUIRES(...) CA_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// On functions: the function acquires / releases the listed capabilities.
+#define CA_ACQUIRE(...) CA_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define CA_RELEASE(...) CA_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+// On functions: the caller must NOT hold the listed capabilities (guards
+// against self-deadlock on non-reentrant mutexes).
+#define CA_EXCLUDES(...) CA_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// On functions: asserts (to the analysis, not at runtime) that the
+// capability is held. Used inside lambdas invoked under a lock the analysis
+// cannot see across the call boundary.
+#define CA_ASSERT_CAPABILITY(x) CA_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+// On functions: returns a reference to the given capability.
+#define CA_RETURN_CAPABILITY(x) CA_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: disables analysis for one function. Every use must carry a
+// comment justifying why the access is safe.
+#define CA_NO_THREAD_SAFETY_ANALYSIS CA_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // CA_COMMON_THREAD_ANNOTATIONS_H_

@@ -4,13 +4,14 @@
 #ifndef CA_COMMON_THREAD_POOL_H_
 #define CA_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace ca {
 
@@ -23,24 +24,24 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   // Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) CA_EXCLUDES(mutex_);
 
   // Blocks until every submitted task has finished executing.
-  void Wait();
+  void Wait() CA_EXCLUDES(mutex_);
 
   std::size_t num_threads() const { return threads_.size(); }
-  std::size_t pending() const;
+  std::size_t pending() const CA_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() CA_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  mutable Mutex mutex_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ CA_GUARDED_BY(mutex_);
+  std::vector<std::thread> threads_;  // written only in ctor, joined in dtor
+  std::size_t in_flight_ CA_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ CA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ca

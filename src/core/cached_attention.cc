@@ -45,7 +45,7 @@ void CachedAttentionEngine::Flush() {
 }
 
 void CachedAttentionEngine::SetQueueHint(std::vector<SessionId> upcoming) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   queue_hint_ = std::move(upcoming);
 }
 
@@ -58,19 +58,22 @@ SchedulerHints CachedAttentionEngine::CurrentHintsLocked() const {
 }
 
 void CachedAttentionEngine::WaitForPendingSave(SessionId session) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  save_done_.wait(lock, [&] { return pending_saves_.count(session) == 0; });
+  MutexLock lock(mutex_);
+  save_done_.Wait(mutex_, [&] {
+    mutex_.AssertHeld();
+    return pending_saves_.count(session) == 0;
+  });
 }
 
 std::vector<TokenId> CachedAttentionEngine::SessionHistory(SessionId session) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = sessions_.find(session);
   return it == sessions_.end() ? std::vector<TokenId>{} : it->second.history;
 }
 
 void CachedAttentionEngine::EndSession(SessionId session) {
   WaitForPendingSave(session);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sessions_.erase(session);
   store_.Remove(session);
 }
@@ -102,7 +105,7 @@ Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& stat
   if (options_.reuse_kv) {
     if (result.truncated && options_.overflow_policy == OverflowPolicy::kInvalidate) {
       WaitForPendingSave(session);
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       store_.Remove(session);
     }
     if (result.truncated && options_.overflow_policy == OverflowPolicy::kTokenTruncate) {
@@ -113,13 +116,13 @@ Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& stat
       WaitForPendingSave(session);
       std::optional<KvRecordInfo> info;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         info = store_.Access(session, WallNow());
       }
       if (info.has_value()) {
         std::vector<std::uint8_t> payload;
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          MutexLock lock(mutex_);
           auto read = store_.ReadPayload(session);
           if (!read.ok()) {
             return read.status();
@@ -174,7 +177,14 @@ Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& stat
 Result<Tensor> CachedAttentionEngine::ForwardTurn(SessionId session,
                                                   std::span<const TokenId> tokens) {
   CA_CHECK(!tokens.empty());
-  SessionState& state = sessions_[session];
+  SessionState* state_ptr;
+  {
+    // Map access under the lock; the per-session state stays valid (node
+    // stability) and is only mutated by this serving thread.
+    MutexLock lock(mutex_);
+    state_ptr = &sessions_[session];
+  }
+  SessionState& state = *state_ptr;
   TurnResult result;
   const auto start = std::chrono::steady_clock::now();
 
@@ -204,7 +214,12 @@ Result<TurnResult> CachedAttentionEngine::Converse(SessionId session,
                                                    std::span<const TokenId> user_tokens,
                                                    std::size_t max_reply_tokens) {
   CA_CHECK(!user_tokens.empty());
-  SessionState& state = sessions_[session];
+  SessionState* state_ptr;
+  {
+    MutexLock lock(mutex_);
+    state_ptr = &sessions_[session];
+  }
+  SessionState& state = *state_ptr;
   TurnResult result;
   const auto start = std::chrono::steady_clock::now();
 
@@ -305,7 +320,9 @@ void CachedAttentionEngine::SaveCache(SessionId session, const KvCache& cache) {
   // Serialize now: the cache buffer is only valid during this turn.
   std::vector<std::uint8_t> payload = cache.Serialize();
   const std::uint64_t tokens = cache.seq_len();
+  // Invoked with mutex_ held (both below call sites lock first).
   auto do_put = [this, session, tokens](const std::vector<std::uint8_t>& bytes) {
+    mutex_.AssertHeld();
     const SchedulerHints hints = CurrentHintsLocked();
     const Status s = store_.Put(session, bytes.size(), tokens, bytes, WallNow(), hints);
     if (!s.ok()) {
@@ -313,7 +330,7 @@ void CachedAttentionEngine::SaveCache(SessionId session, const KvCache& cache) {
     }
   };
   if (write_stream_ == nullptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     do_put(payload);
     return;
   }
@@ -321,16 +338,16 @@ void CachedAttentionEngine::SaveCache(SessionId session, const KvCache& cache) {
   // work; readers of this session block in WaitForPendingSave until it
   // lands.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     pending_saves_.insert(session);
   }
   write_stream_->Submit([this, session, do_put, payload = std::move(payload)] {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       do_put(payload);
       pending_saves_.erase(session);
     }
-    save_done_.notify_all();
+    save_done_.NotifyAll();
   });
 }
 

@@ -18,17 +18,17 @@
 #ifndef CA_CORE_CACHED_ATTENTION_H_
 #define CA_CORE_CACHED_ATTENTION_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 #include "src/model/compression.h"
 #include "src/model/kv_cache.h"
@@ -111,7 +111,10 @@ class CachedAttentionEngine {
   const Transformer& model() const { return *model_; }
   const EngineOptions& options() const { return options_; }
   const EngineStats& stats() const { return stats_; }
-  const AttentionStore& store() const { return store_; }
+  // Quiescent introspection only: callers must Flush() first and must not
+  // race with Converse/ForwardTurn, since the returned reference bypasses
+  // the engine mutex that guards the store during serving.
+  const AttentionStore& store() const CA_NO_THREAD_SAFETY_ANALYSIS { return store_; }
 
   // Serves one conversation turn: appends `user_tokens`, decodes up to
   // `max_reply_tokens` greedily, persists the KV cache for the next turn.
@@ -125,16 +128,16 @@ class CachedAttentionEngine {
 
   // Applications that maintain a job queue can feed it here so the
   // scheduler-aware policy and prefetcher see future accesses.
-  void SetQueueHint(std::vector<SessionId> upcoming);
+  void SetQueueHint(std::vector<SessionId> upcoming) CA_EXCLUDES(mutex_);
 
   // Waits for all asynchronous saves to land.
   void Flush();
 
   // Current full token history of a session (post-truncation).
-  std::vector<TokenId> SessionHistory(SessionId session) const;
+  std::vector<TokenId> SessionHistory(SessionId session) const CA_EXCLUDES(mutex_);
 
   // Drops a session's state (and stored KV).
-  void EndSession(SessionId session);
+  void EndSession(SessionId session) CA_EXCLUDES(mutex_);
 
  private:
   struct SessionState {
@@ -145,16 +148,16 @@ class CachedAttentionEngine {
   // store or recomputes. On return `cache` holds exactly the history
   // prefix; `result` has hit/truncation accounting filled in.
   Status PrepareCache(SessionId session, SessionState& state, std::size_t incoming_tokens,
-                      KvCache& cache, TurnResult& result);
+                      KvCache& cache, TurnResult& result) CA_EXCLUDES(mutex_);
 
   // Applies the configured TDL compression to the cache and the session's
   // visible history. Returns the number of discarded tokens.
   std::size_t MaybeCompress(SessionState& state, KvCache& cache,
                             std::span<const float> importance);
 
-  void SaveCache(SessionId session, const KvCache& cache);
-  void WaitForPendingSave(SessionId session);
-  SchedulerHints CurrentHintsLocked() const;
+  void SaveCache(SessionId session, const KvCache& cache) CA_EXCLUDES(mutex_);
+  void WaitForPendingSave(SessionId session) CA_EXCLUDES(mutex_);
+  SchedulerHints CurrentHintsLocked() const CA_REQUIRES(mutex_);
   PeMode pe_mode() const {
     return options_.overflow_policy == OverflowPolicy::kNaiveKvTruncate ? PeMode::kCoupled
                                                                         : PeMode::kDecoupled;
@@ -163,14 +166,21 @@ class CachedAttentionEngine {
   const Transformer* model_;
   EngineOptions options_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable save_done_;
-  AttentionStore store_;
-  std::unordered_map<SessionId, SessionState> sessions_;
-  std::unordered_set<SessionId> pending_saves_;
-  std::vector<SessionId> queue_hint_;
+  // mutex_ serializes everything the asynchronous write stream shares with
+  // the serving thread: the store, the pending-save set and the scheduler
+  // hints. The sessions_ *map* is also guarded (insert/erase/lookup race
+  // with SessionHistory); the per-session state a lookup returns is only
+  // ever mutated by the thread serving that session's turn.
+  mutable Mutex mutex_;
+  CondVar save_done_;
+  AttentionStore store_ CA_GUARDED_BY(mutex_);
+  std::unordered_map<SessionId, SessionState> sessions_ CA_GUARDED_BY(mutex_);
+  std::unordered_set<SessionId> pending_saves_ CA_GUARDED_BY(mutex_);
+  std::vector<SessionId> queue_hint_ CA_GUARDED_BY(mutex_);
   std::unique_ptr<ThreadPool> write_stream_;  // non-null iff async_save
 
+  // Turn accounting; written only by the serving thread (never by the write
+  // stream), so it needs no lock.
   EngineStats stats_;
 };
 

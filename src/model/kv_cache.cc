@@ -141,11 +141,16 @@ std::vector<std::uint8_t> KvCache::Serialize() const {
   std::memcpy(out.data(), &header, sizeof(header));
   std::size_t off = sizeof(header);
   for (std::size_t layer = 0; layer < k_.size(); ++layer) {
+    // Empty layers have a null data(); memcpy forbids null even with size 0.
     const std::size_t k_bytes = k_[layer].size() * sizeof(float);
-    std::memcpy(out.data() + off, k_[layer].data(), k_bytes);
+    if (k_bytes > 0) {
+      std::memcpy(out.data() + off, k_[layer].data(), k_bytes);
+    }
     off += k_bytes;
     const std::size_t v_bytes = v_[layer].size() * sizeof(float);
-    std::memcpy(out.data() + off, v_[layer].data(), v_bytes);
+    if (v_bytes > 0) {
+      std::memcpy(out.data() + off, v_[layer].data(), v_bytes);
+    }
     off += v_bytes;
   }
   CA_CHECK_EQ(off, out.size());
@@ -174,7 +179,7 @@ Result<KvCache> KvCache::Deserialize(const ModelConfig& config,
   KvCache cache(config, static_cast<PeMode>(header.pe_mode));
   std::size_t off = sizeof(header);
   const std::size_t layer_floats = header.seq_len * row_floats;
-  for (std::size_t layer = 0; layer < header.n_layers; ++layer) {
+  for (std::size_t layer = 0; layer < header.n_layers && layer_floats > 0; ++layer) {
     cache.k_[layer].resize(layer_floats);
     std::memcpy(cache.k_[layer].data(), bytes.data() + off, layer_floats * sizeof(float));
     off += layer_floats * sizeof(float);

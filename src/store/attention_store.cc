@@ -1,11 +1,26 @@
 #include "src/store/attention_store.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
 
 namespace ca {
+
+namespace {
+
+// Process-unique backing-file path for stores configured without an explicit
+// disk_path (see StoreConfig::disk_path).
+std::string UniqueDiskPath() {
+  static std::atomic<std::uint64_t> counter{0};
+  return "/tmp/ca_attention_store." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1)) + ".blocks";
+}
+
+}  // namespace
 
 std::string_view TierName(Tier tier) {
   switch (tier) {
@@ -24,6 +39,9 @@ std::string_view TierName(Tier tier) {
 AttentionStore::AttentionStore(StoreConfig config)
     : config_(std::move(config)), policy_(MakeEvictionPolicy(config_.eviction_policy)) {
   CA_CHECK_GT(config_.block_bytes, 0ULL);
+  if (config_.disk_path.empty()) {
+    config_.disk_path = UniqueDiskPath();
+  }
   if (config_.real_payloads) {
     if (config_.hbm_capacity > 0) {
       storages_[static_cast<std::size_t>(Tier::kHbm)] =
@@ -95,6 +113,61 @@ BlockStorage* AttentionStore::Storage(Tier tier) {
     return nullptr;
   }
   return storages_[static_cast<std::size_t>(tier)].get();
+}
+
+const BlockStorage* AttentionStore::Storage(Tier tier) const {
+  if (tier == Tier::kNone) {
+    return nullptr;
+  }
+  return storages_[static_cast<std::size_t>(tier)].get();
+}
+
+void AttentionStore::CheckInvariants() const {
+  std::array<std::uint64_t, kNumTiers> tier_bytes = {0, 0, 0};
+  std::array<std::uint64_t, kNumTiers> tier_blocks = {0, 0, 0};
+  for (const auto& [id, r] : records_) {
+    CA_CHECK_EQ(id, r.session) << "record keyed under the wrong session";
+    CA_CHECK(r.tier != Tier::kNone) << "session " << id << " has a record without a tier";
+    CA_CHECK(TierEnabled(r.tier)) << "session " << id << " resides in disabled tier "
+                                  << TierName(r.tier);
+    CA_CHECK_GT(r.bytes, 0ULL) << "session " << id << " has an empty record";
+    CA_CHECK_EQ(r.block_bytes, RoundToBlocks(r.bytes))
+        << "session " << id << " block charge does not match its block-rounded size";
+    if (config_.real_payloads) {
+      CA_CHECK(!r.extent.empty()) << "session " << id << " lost its payload extent";
+      CA_CHECK_EQ(r.extent.byte_length, r.bytes)
+          << "session " << id << " extent length drifted from its logical size";
+      CA_CHECK_EQ(r.extent.blocks.size() * config_.block_bytes, r.block_bytes)
+          << "session " << id << " extent block count does not match its block charge";
+    } else {
+      CA_CHECK(r.extent.empty()) << "session " << id << " owns an extent without payloads";
+    }
+    tier_bytes[static_cast<std::size_t>(r.tier)] += r.block_bytes;
+    tier_blocks[static_cast<std::size_t>(r.tier)] += r.extent.blocks.size();
+  }
+  for (const Tier tier : {Tier::kHbm, Tier::kDram, Tier::kDisk}) {
+    const auto idx = static_cast<std::size_t>(tier);
+    CA_CHECK_LE(used_bytes_[idx], CapacityBytes(tier))
+        << TierName(tier) << " holds more than its capacity";
+    CA_CHECK_EQ(used_bytes_[idx], tier_bytes[idx])
+        << "used_bytes drifted from the records resident in " << TierName(tier);
+    if (const BlockStorage* storage = Storage(tier); storage != nullptr) {
+      CA_CHECK_EQ(storage->UsedBlocks(), tier_blocks[idx])
+          << TierName(tier) << " allocator blocks drifted from the resident extents";
+    }
+  }
+}
+
+void AttentionStore::CorruptUsedBytesForTesting(Tier tier, std::int64_t delta) {
+  CA_CHECK(tier != Tier::kNone);
+  auto& used = used_bytes_[static_cast<std::size_t>(tier)];
+  used = static_cast<std::uint64_t>(static_cast<std::int64_t>(used) + delta);
+}
+
+void AttentionStore::MaybeAudit() const {
+  if (config_.audit) {
+    CheckInvariants();
+  }
 }
 
 Tier AttentionStore::Lookup(SessionId session) const {
@@ -264,8 +337,10 @@ Status AttentionStore::Put(SessionId session, std::uint64_t bytes, std::uint64_t
     } else {
       ++stats_.inserts;
     }
+    MaybeAudit();
     return Status::Ok();
   }
+  MaybeAudit();
   return ResourceExhaustedError("KV cache of session " + std::to_string(session) +
                                 " fits in no tier");
 }
@@ -294,11 +369,13 @@ Status AttentionStore::Promote(SessionId session, SimTime now, const SchedulerHi
     return FailedPreconditionError("DRAM tier disabled");
   }
   if (!EnsureRoom(Tier::kDram, r.block_bytes, session, now, hints)) {
+    MaybeAudit();
     return ResourceExhaustedError("no DRAM room to promote session " + std::to_string(session));
   }
   MoveRecord(r, Tier::kDram);
   ++stats_.promotions;
   stats_.bytes_promoted += r.bytes;
+  MaybeAudit();
   return Status::Ok();
 }
 
@@ -313,11 +390,13 @@ Status AttentionStore::Demote(SessionId session, SimTime now, const SchedulerHin
     return FailedPreconditionError("no slower tier");
   }
   if (!EnsureRoom(down, r.block_bytes, session, now, hints)) {
+    MaybeAudit();
     return ResourceExhaustedError("no room below");
   }
   MoveRecord(r, down);
   ++stats_.demotions;
   stats_.bytes_demoted += r.bytes;
+  MaybeAudit();
   return Status::Ok();
 }
 
@@ -344,6 +423,14 @@ std::size_t AttentionStore::MaintainDramBuffer(SimTime now, const SchedulerHints
     }
     ++demoted;
   }
+  if (config_.audit) {
+    // §3.3.1 postcondition: the free-space buffer is restored unless DRAM
+    // holds nothing left to demote.
+    CA_CHECK(FreeBytes(Tier::kDram) >= config_.dram_buffer ||
+             SessionsInTier(Tier::kDram).empty())
+        << "DRAM buffer not maintained although demotable records remain";
+  }
+  MaybeAudit();
   return demoted;
 }
 
@@ -354,6 +441,7 @@ void AttentionStore::Remove(SessionId session) {
   }
   MoveRecord(it->second, Tier::kNone);
   records_.erase(it);
+  MaybeAudit();
 }
 
 std::size_t AttentionStore::ExpireTtl(SimTime now) {
@@ -372,6 +460,7 @@ std::size_t AttentionStore::ExpireTtl(SimTime now) {
     records_.erase(id);
   }
   stats_.ttl_expirations += expired.size();
+  MaybeAudit();
   return expired.size();
 }
 

@@ -56,8 +56,18 @@ struct StoreConfig {
 
   // When true, tiers get real payload storage (DRAM/HBM in memory, disk in
   // a backing file under disk_path) and Put/ReadPayload move actual bytes.
+  // An empty disk_path expands to a process-unique temp path
+  // (/tmp/ca_attention_store.<pid>.<seq>.blocks) so concurrent processes —
+  // e.g. parallel ctest shards — never collide on one backing file; the
+  // resolved path is visible through AttentionStore::config().
   bool real_payloads = false;
-  std::string disk_path = "/tmp/attention_store.blocks";
+  std::string disk_path;
+
+  // When true, CheckInvariants() runs after every mutating operation, so
+  // accounting drift aborts at the mutation that introduced it instead of
+  // corrupting cached attention states silently. Meant for tests and
+  // debugging; each audit is O(records).
+  bool audit = false;
 };
 
 // Public view of one record.
@@ -132,6 +142,25 @@ class AttentionStore {
   std::size_t RecordCount() const { return records_.size(); }
   std::vector<SessionId> SessionsInTier(Tier tier) const;
 
+  // Audits the store's internal consistency, aborting (CA_CHECK) on the
+  // first violation. Checked invariants:
+  //  * every record sits in an enabled tier, has bytes > 0, and its charged
+  //    block_bytes equals its logical bytes rounded up to the block size;
+  //  * per-tier used_bytes_ equals the sum of resident records' block
+  //    charges and never exceeds the tier capacity;
+  //  * with real payloads: every record owns a non-empty extent whose byte
+  //    length matches the record and whose block count matches the block
+  //    charge, and each tier's allocator has exactly the blocks of its
+  //    resident records allocated (no leaks, no double-ownership);
+  //  * without real payloads: no record owns an extent.
+  // Runs automatically after every mutating operation when config.audit is
+  // set.
+  void CheckInvariants() const;
+
+  // Test-only: injects accounting corruption so tests can prove the auditor
+  // fires (see store_audit_test.cc). Never call outside tests.
+  void CorruptUsedBytesForTesting(Tier tier, std::int64_t delta);
+
  private:
   struct KvRecord {
     SessionId session = kInvalidSession;
@@ -163,8 +192,13 @@ class AttentionStore {
   std::optional<SessionId> PickVictim(Tier tier, SessionId exclude, const SchedulerHints& hints);
 
   BlockStorage* Storage(Tier tier);
+  const BlockStorage* Storage(Tier tier) const;
 
   void EraseRecord(SessionId session);
+
+  // Runs CheckInvariants() iff config_.audit is set; called on every
+  // mutating-operation exit path.
+  void MaybeAudit() const;
 
   StoreConfig config_;
   std::unique_ptr<EvictionPolicy> policy_;

@@ -12,6 +12,7 @@
 namespace ca {
 
 Result<BlockExtent> BlockStorage::Write(std::span<const std::uint8_t> bytes) {
+  MutexLock lock(mutex_);
   const std::uint64_t n_blocks = allocator_.BlocksFor(bytes.size());
   CA_ASSIGN_OR_RETURN(std::vector<BlockId> blocks, allocator_.Allocate(n_blocks));
   const std::uint64_t block_bytes = allocator_.block_bytes();
@@ -29,6 +30,7 @@ Result<BlockExtent> BlockStorage::Write(std::span<const std::uint8_t> bytes) {
 }
 
 Result<std::vector<std::uint8_t>> BlockStorage::Read(const BlockExtent& extent) {
+  MutexLock lock(mutex_);
   std::vector<std::uint8_t> out(extent.byte_length);
   const std::uint64_t block_bytes = allocator_.block_bytes();
   std::uint64_t off = 0;
@@ -42,9 +44,20 @@ Result<std::vector<std::uint8_t>> BlockStorage::Read(const BlockExtent& extent) 
 }
 
 void BlockStorage::Free(BlockExtent& extent) {
+  MutexLock lock(mutex_);
   allocator_.Free(extent.blocks);
   extent.blocks.clear();
   extent.byte_length = 0;
+}
+
+std::uint64_t BlockStorage::UsedBlocks() const {
+  MutexLock lock(mutex_);
+  return allocator_.used_blocks();
+}
+
+std::uint64_t BlockStorage::block_bytes() const {
+  MutexLock lock(mutex_);
+  return allocator_.block_bytes();
 }
 
 MemoryBlockStorage::MemoryBlockStorage(std::uint64_t capacity_bytes, std::uint64_t block_bytes)

@@ -4,10 +4,17 @@
 // them back given the block list. Two implementations:
 //  * MemoryBlockStorage — heap arena (the DRAM / HBM tiers).
 //  * FileBlockStorage — one backing file with pread/pwrite at block offsets
-//    (the disk tier of the real-execution path).
+//    (the disk tier of the real-execution path). The backing file is
+//    unlinked in the destructor.
 //
 // The simulator never attaches payload storage (capacity accounting only);
 // the real-execution engine always does.
+//
+// Thread safety: Write/Read/Free/UsedBlocks are individually thread-safe
+// (one internal mutex serializes the allocator and the block I/O), so the
+// asynchronous KV-save stream and IO threads may share one storage. Callers
+// still coordinate *which* extents they touch: freeing an extent another
+// thread is reading is a logic error the mutex cannot catch.
 #ifndef CA_STORE_BLOCK_STORAGE_H_
 #define CA_STORE_BLOCK_STORAGE_H_
 
@@ -17,7 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/store/block_allocator.h"
 
 namespace ca {
@@ -40,22 +49,29 @@ class BlockStorage {
   BlockStorage(const BlockStorage&) = delete;
   BlockStorage& operator=(const BlockStorage&) = delete;
 
-  const BlockAllocator& allocator() const { return allocator_; }
-
   // Allocates blocks and writes `bytes` into them.
-  Result<BlockExtent> Write(std::span<const std::uint8_t> bytes);
+  Result<BlockExtent> Write(std::span<const std::uint8_t> bytes) CA_EXCLUDES(mutex_);
 
   // Reads a record back.
-  Result<std::vector<std::uint8_t>> Read(const BlockExtent& extent);
+  Result<std::vector<std::uint8_t>> Read(const BlockExtent& extent) CA_EXCLUDES(mutex_);
 
   // Releases a record's blocks.
-  void Free(BlockExtent& extent);
+  void Free(BlockExtent& extent) CA_EXCLUDES(mutex_);
+
+  // Currently allocated block count (the invariant auditor cross-checks
+  // this against the live records' extents).
+  std::uint64_t UsedBlocks() const CA_EXCLUDES(mutex_);
+
+  std::uint64_t block_bytes() const CA_EXCLUDES(mutex_);
 
  protected:
-  virtual Status WriteBlock(BlockId block, std::span<const std::uint8_t> data) = 0;
-  virtual Status ReadBlock(BlockId block, std::span<std::uint8_t> out) = 0;
+  // Block I/O hooks; invoked with mutex_ held.
+  virtual Status WriteBlock(BlockId block, std::span<const std::uint8_t> data)
+      CA_REQUIRES(mutex_) = 0;
+  virtual Status ReadBlock(BlockId block, std::span<std::uint8_t> out) CA_REQUIRES(mutex_) = 0;
 
-  BlockAllocator allocator_;
+  mutable Mutex mutex_;
+  BlockAllocator allocator_ CA_GUARDED_BY(mutex_);
 };
 
 class MemoryBlockStorage final : public BlockStorage {
@@ -63,11 +79,12 @@ class MemoryBlockStorage final : public BlockStorage {
   MemoryBlockStorage(std::uint64_t capacity_bytes, std::uint64_t block_bytes);
 
  protected:
-  Status WriteBlock(BlockId block, std::span<const std::uint8_t> data) override;
-  Status ReadBlock(BlockId block, std::span<std::uint8_t> out) override;
+  Status WriteBlock(BlockId block, std::span<const std::uint8_t> data)
+      CA_REQUIRES(mutex_) override;
+  Status ReadBlock(BlockId block, std::span<std::uint8_t> out) CA_REQUIRES(mutex_) override;
 
  private:
-  std::vector<std::uint8_t> arena_;
+  std::vector<std::uint8_t> arena_ CA_GUARDED_BY(mutex_);
 };
 
 class FileBlockStorage final : public BlockStorage {
@@ -79,12 +96,13 @@ class FileBlockStorage final : public BlockStorage {
   const std::string& path() const { return path_; }
 
  protected:
-  Status WriteBlock(BlockId block, std::span<const std::uint8_t> data) override;
-  Status ReadBlock(BlockId block, std::span<std::uint8_t> out) override;
+  Status WriteBlock(BlockId block, std::span<const std::uint8_t> data)
+      CA_REQUIRES(mutex_) override;
+  Status ReadBlock(BlockId block, std::span<std::uint8_t> out) CA_REQUIRES(mutex_) override;
 
  private:
-  std::string path_;
-  int fd_ = -1;
+  const std::string path_;  // immutable after construction
+  int fd_ = -1;             // immutable after construction
 };
 
 }  // namespace ca

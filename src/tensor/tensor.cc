@@ -20,7 +20,7 @@ void Tensor::SetShape(const std::vector<std::size_t>& shape) {
 
 Tensor::Tensor(std::vector<std::size_t> shape) {
   SetShape(shape);
-  storage_ = std::shared_ptr<float[]>(new float[numel_]());
+  storage_ = std::make_shared<float[]>(numel_);  // value-initialized (zeros)
   data_ = storage_.get();
 }
 

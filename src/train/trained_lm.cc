@@ -52,7 +52,7 @@ const TrainedLm& GetTrainedLm() {
       const double loss = eval.EvalLoss(held_out);
       CA_LOG(Info) << "loaded canonical mini LM from " << cache << " (eval loss " << loss
                    << ")";
-      return new TrainedLm{config, std::move(corpus), std::move(model), loss};
+      return new TrainedLm{config, std::move(corpus), std::move(model), loss};  // NOLINT(naked-new): leaky singleton
     }
     TrainConfig tc;
     tc.steps = 350;
@@ -67,7 +67,7 @@ const TrainedLm& GetTrainedLm() {
     if (!saved.ok()) {
       CA_LOG(Warn) << "could not cache trained weights: " << saved;
     }
-    return new TrainedLm{config, std::move(corpus), std::move(model), loss};
+    return new TrainedLm{config, std::move(corpus), std::move(model), loss};  // NOLINT(naked-new): leaky singleton
   }();
   return *instance;
 }

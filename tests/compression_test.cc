@@ -166,7 +166,6 @@ TEST(EngineCompressionTest, LongSessionStaysBounded) {
   options.store.dram_capacity = MiB(64);
   options.store.disk_capacity = MiB(256);
   options.store.block_bytes = KiB(64);
-  options.store.disk_path = testing::TempDir() + "/ca_compress_engine.blocks";
   options.compression.policy = CompressionPolicy::kAttentionSink;
   options.compression.sink_tokens = 4;
   options.compression.recent_tokens = 64;
@@ -192,7 +191,6 @@ TEST(EngineCompressionTest, ImportancePolicyRunsAndAccumulates) {
   options.store.dram_capacity = MiB(64);
   options.store.disk_capacity = MiB(256);
   options.store.block_bytes = KiB(64);
-  options.store.disk_path = testing::TempDir() + "/ca_compress_engine2.blocks";
   options.compression.policy = CompressionPolicy::kImportance;
   options.compression.sink_tokens = 2;
   options.compression.recent_tokens = 16;

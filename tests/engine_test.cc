@@ -26,7 +26,9 @@ EngineOptions DefaultOptions() {
   options.store.dram_capacity = MiB(64);
   options.store.disk_capacity = MiB(256);
   options.store.block_bytes = KiB(64);
-  options.store.disk_path = testing::TempDir() + "/ca_engine_test.blocks";
+  // Audit the store after every mutation so accounting drift on the real
+  // serving path aborts in the test that introduced it.
+  options.store.audit = true;
   return options;
 }
 

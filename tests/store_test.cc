@@ -296,7 +296,6 @@ TEST(AttentionStoreTest, DiskOnlyConfigWorks) {
 TEST(AttentionStoreTest, RealPayloadRoundTripAcrossTiers) {
   StoreConfig config = SmallConfig();
   config.real_payloads = true;
-  config.disk_path = testing::TempDir() + "/ca_store_payloads.blocks";
   AttentionStore store(config);
   const auto data = Payload(MiB(3), 7);
   ASSERT_TRUE(store.Put(1, data.size(), 42, data, 0, kNoHints).ok());

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Repo lint: enforces CachedAttention source-tree invariants.
+
+Dependency-free (stdlib only) so it runs anywhere a python3 exists; wired
+into CTest as the `lint` test. Rules (see tools/README.md for rationale):
+
+  header-guard   every .h under src/ uses an include guard derived from its
+                 path: src/store/types.h -> CA_STORE_TYPES_H_
+  no-cout        no std::cout in src/ outside src/common/logging.* (all
+                 diagnostics go through CA_LOG so they are leveled,
+                 filterable and thread-safe; CA_CHECK's std::cerr abort path
+                 is deliberate and exempt)
+  naked-new      no `new` expressions in src/ (RAII throughout; no owning
+                 raw pointers)
+  cmake-listed   every .cc under src/ is declared in its directory's
+                 CMakeLists.txt (an unlisted file silently never builds)
+  no-assert      no assert() in src/ — CA_CHECK stays on in release builds,
+                 where silent cache corruption would otherwise go unnoticed
+
+A line containing `NOLINT` is exempt from content rules (used for the one
+deliberate leaky-singleton allocation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import List, NamedTuple
+
+
+class Violation(NamedTuple):
+    path: str  # repo-relative
+    line: int  # 1-based; 0 for file-level violations
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line structure.
+
+    Replaced regions become spaces (newlines kept) so line numbers of the
+    remaining code survive. Handles //, /* */, "..." and '...' with escapes;
+    raw strings are not used in this codebase.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def expected_guard(rel: pathlib.PurePath) -> str:
+    """src/store/types.h -> CA_STORE_TYPES_H_ (the `src/` prefix is dropped)."""
+    parts = rel.parts[1:] if rel.parts and rel.parts[0] == "src" else rel.parts
+    stem = "_".join(parts)
+    return "CA_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_"
+
+
+def exempt(line: str) -> bool:
+    return "NOLINT" in line
+
+
+def check_header_guard(rel: pathlib.PurePath, text: str) -> List[Violation]:
+    guard = expected_guard(rel)
+    ifndef = re.search(r"^#ifndef\s+(\S+)", text, re.MULTILINE)
+    if ifndef is None:
+        return [Violation(str(rel), 0, "header-guard", f"missing include guard {guard}")]
+    found = ifndef.group(1)
+    if found != guard:
+        line = text[: ifndef.start()].count("\n") + 1
+        return [
+            Violation(
+                str(rel), line, "header-guard",
+                f"guard {found} does not match path-derived {guard}",
+            )
+        ]
+    if f"#define {guard}" not in text:
+        return [Violation(str(rel), 0, "header-guard", f"guard {guard} never #defined")]
+    return []
+
+
+def check_content_rules(rel: pathlib.PurePath, text: str) -> List[Violation]:
+    violations: List[Violation] = []
+    raw_lines = text.splitlines()
+    code = strip_comments_and_strings(text)
+    code_lines = code.splitlines()
+    is_logging = rel.parts[-1].startswith("logging.")
+
+    for idx, code_line in enumerate(code_lines):
+        raw = raw_lines[idx] if idx < len(raw_lines) else ""
+        if exempt(raw):
+            continue
+        lineno = idx + 1
+        if not is_logging and re.search(r"\bstd\s*::\s*cout\b", code_line):
+            violations.append(
+                Violation(str(rel), lineno, "no-cout",
+                          "use CA_LOG instead of writing to std::cout")
+            )
+        if re.search(r"\bnew\b", code_line):
+            violations.append(
+                Violation(str(rel), lineno, "naked-new",
+                          "no `new` expressions; use std::make_unique or values")
+            )
+        if re.search(r"\bassert\s*\(", code_line):
+            violations.append(
+                Violation(str(rel), lineno, "no-assert",
+                          "use CA_CHECK (stays on in release) instead of assert")
+            )
+    return violations
+
+
+def check_cmake_listed(src_dir: pathlib.Path, root: pathlib.Path) -> List[Violation]:
+    violations: List[Violation] = []
+    for cc in sorted(src_dir.rglob("*.cc")):
+        cmake = cc.parent / "CMakeLists.txt"
+        rel = cc.relative_to(root)
+        if not cmake.is_file():
+            violations.append(
+                Violation(str(rel), 0, "cmake-listed",
+                          f"no CMakeLists.txt next to it ({cmake.relative_to(root)})")
+            )
+            continue
+        listing = cmake.read_text(encoding="utf-8")
+        if not re.search(rf"\b{re.escape(cc.name)}\b", listing):
+            violations.append(
+                Violation(str(rel), 0, "cmake-listed",
+                          f"not declared in {cmake.relative_to(root)}; it never builds")
+            )
+    return violations
+
+
+def run_lint(root: pathlib.Path) -> List[Violation]:
+    src_dir = root / "src"
+    violations: List[Violation] = []
+    if not src_dir.is_dir():
+        return [Violation("src", 0, "layout", f"no src/ directory under {root}")]
+    for path in sorted(src_dir.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(root)
+        text = path.read_text(encoding="utf-8")
+        if path.suffix == ".h":
+            violations.extend(check_header_guard(rel, text))
+        violations.extend(check_content_rules(rel, text))
+    violations.extend(check_cmake_listed(src_dir, root))
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root (default: cwd)")
+    args = parser.parse_args(argv)
+    root = pathlib.Path(args.root).resolve()
+    violations = run_lint(root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint.py: each rule must fire on a seeded violation
+and stay quiet on a clean miniature tree, so the lint CTest is verified
+rather than decorative. Stdlib only; wired into CTest as `lint_selftest`."""
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import lint  # noqa: E402
+
+
+CLEAN_HEADER = """\
+#ifndef CA_STORE_WIDGET_H_
+#define CA_STORE_WIDGET_H_
+namespace ca {}
+#endif  // CA_STORE_WIDGET_H_
+"""
+
+CLEAN_SOURCE = """\
+#include "src/store/widget.h"
+namespace ca {
+int Widget() { return 42; }  // "new" in a comment or string is fine: new
+}
+"""
+
+
+class LintTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = pathlib.Path(self._tmp.name)
+        self.store = self.root / "src" / "store"
+        self.store.mkdir(parents=True)
+        self.write("widget.h", CLEAN_HEADER)
+        self.write("widget.cc", CLEAN_SOURCE)
+        self.write("CMakeLists.txt", "add_library(ca_store widget.cc)\n")
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, name, text):
+        (self.store / name).write_text(text)
+
+    def rules(self):
+        return {v.rule for v in lint.run_lint(self.root)}
+
+    def test_clean_tree_passes(self):
+        self.assertEqual(lint.run_lint(self.root), [])
+
+    def test_wrong_header_guard_fails(self):
+        self.write("widget.h", CLEAN_HEADER.replace("CA_STORE_WIDGET_H_", "WIDGET_H"))
+        self.assertIn("header-guard", self.rules())
+
+    def test_missing_header_guard_fails(self):
+        self.write("widget.h", "namespace ca {}\n")
+        self.assertIn("header-guard", self.rules())
+
+    def test_cout_fails(self):
+        self.write("widget.cc", '#include <iostream>\nvoid F() { std::cout << "x"; }\n')
+        self.assertIn("no-cout", self.rules())
+
+    def test_cout_allowed_in_logging(self):
+        common = self.root / "src" / "common"
+        common.mkdir()
+        (common / "logging.cc").write_text('void F() { std::cout << "x"; }\n')
+        (common / "CMakeLists.txt").write_text("add_library(ca_common logging.cc)\n")
+        self.assertNotIn("no-cout", self.rules())
+
+    def test_naked_new_fails(self):
+        self.write("widget.cc", "int* F() { return new int(1); }\n")
+        self.assertIn("naked-new", self.rules())
+
+    def test_new_in_comment_or_string_ok(self):
+        self.write("widget.cc", 'const char* F() { return "new"; }  // the new path\n')
+        self.assertNotIn("naked-new", self.rules())
+
+    def test_nolint_suppresses(self):
+        self.write("widget.cc", "int* F() { return new int(1); }  // NOLINT(naked-new)\n")
+        self.assertNotIn("naked-new", self.rules())
+
+    def test_assert_fails(self):
+        self.write("widget.cc", "#include <cassert>\nvoid F(int x) { assert(x > 0); }\n")
+        self.assertIn("no-assert", self.rules())
+
+    def test_static_assert_ok(self):
+        self.write("widget.cc", "static_assert(sizeof(int) == 4);\n")
+        self.assertNotIn("no-assert", self.rules())
+
+    def test_unlisted_cc_fails(self):
+        self.write("orphan.cc", "namespace ca {}\n")
+        self.assertIn("cmake-listed", self.rules())
+
+    def test_guard_derivation(self):
+        self.assertEqual(
+            lint.expected_guard(pathlib.PurePath("src/common/thread_pool.h")),
+            "CA_COMMON_THREAD_POOL_H_",
+        )
+        self.assertEqual(
+            lint.expected_guard(pathlib.PurePath("src/store/types.h")),
+            "CA_STORE_TYPES_H_",
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()
