@@ -1,11 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical
-// primitives of the real execution path: transformer forward, KV cache
-// serialization, AttentionStore operations and the block allocator.
+// primitives of the real execution path: dense kernels, transformer
+// forward, KV cache serialization, AttentionStore operations and the block
+// allocator.
+//
+// `tools/bench_compare.py --ingest` turns the JSON output into an entry of
+// the tracked BENCH_kernels.json perf trajectory; see README "Kernel
+// benchmarks".
 #include <benchmark/benchmark.h>
 
 #include "src/model/transformer.h"
 #include "src/store/attention_store.h"
 #include "src/store/block_allocator.h"
+#include "src/tensor/ops.h"
 
 namespace ca {
 namespace {
@@ -14,6 +20,47 @@ const Transformer& BenchModel() {
   static const Transformer* model = new Transformer(ModelConfig::Mini(), 7);
   return *model;
 }
+
+// Threaded twin of BenchModel: same weights (same seed), forward pass runs
+// on a pool. Tracks the parallel speedup/overhead next to the serial
+// numbers (on a single-core runner this measures pure overhead).
+const Transformer& BenchModelThreads(std::size_t threads) {
+  static const Transformer* model =
+      new Transformer(ModelConfig::Mini().WithThreads(4), 7);
+  CA_CHECK_EQ(threads, 4U);
+  return *model;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  const Tensor a = Tensor::Randn({dim, dim}, rng);
+  const Tensor b = Tensor::Randn({dim, dim}, rng);
+  Tensor out({dim, dim});
+  for (auto _ : state) {
+    MatMul(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  // items = multiply-accumulates.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim * dim * dim));
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransposedB(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  const Tensor a = Tensor::Randn({dim, dim}, rng);
+  const Tensor bt = Tensor::Randn({dim, dim}, rng);
+  Tensor out({dim, dim});
+  for (auto _ : state) {
+    MatMulTransposedB(a, bt, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim * dim * dim));
+}
+BENCHMARK(BM_MatMulTransposedB)->Arg(64)->Arg(128)->Arg(256);
 
 std::vector<TokenId> BenchTokens(std::size_t n) {
   Rng rng(3);
@@ -48,6 +95,17 @@ void BM_TransformerDecodeStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TransformerDecodeStep)->Arg(64)->Arg(192);
+
+void BM_TransformerPrefillThreads(benchmark::State& state) {
+  const auto& model = BenchModelThreads(4);
+  const auto tokens = BenchTokens(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    KvCache cache = model.MakeCache(PeMode::kDecoupled);
+    benchmark::DoNotOptimize(model.Forward(tokens, cache));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TransformerPrefillThreads)->Arg(128);
 
 void BM_KvCacheSerialize(benchmark::State& state) {
   KvCache cache = BenchModel().MakeCache(PeMode::kDecoupled);

@@ -1,0 +1,99 @@
+#include "src/common/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "src/common/mutex.h"
+
+namespace ca {
+
+namespace {
+
+// Shared between the caller and its helper tasks. Heap-allocated and
+// reference-counted because helper tasks can outlive the ParallelFor call:
+// a task that reaches the front of the pool's queue after every chunk has
+// already been claimed simply finds no work, but it still touches the state
+// to discover that.
+struct ParallelForState {
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t n_chunks = 0;
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+
+  std::atomic<std::size_t> next_chunk_begin{0};
+
+  Mutex mutex;
+  CondVar all_done;
+  std::size_t chunks_done CA_GUARDED_BY(mutex) = 0;
+
+  // Claims and runs chunks until none remain. Returns true if it completed
+  // the final outstanding chunk. `fn` is guaranteed live here: a chunk can
+  // only be claimed before the caller observed chunks_done == n_chunks.
+  bool RunChunks() {
+    std::size_t completed = 0;
+    for (;;) {
+      const std::size_t chunk_begin = next_chunk_begin.fetch_add(grain);
+      if (chunk_begin >= end) {
+        break;
+      }
+      (*fn)(chunk_begin, std::min(end, chunk_begin + grain));
+      ++completed;
+    }
+    if (completed == 0) {
+      return false;
+    }
+    MutexLock lock(mutex);
+    chunks_done += completed;
+    return chunks_done == n_chunks;
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) {
+    return;
+  }
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t n_chunks = (end - begin - 1) / grain + 1;
+  if (pool == nullptr || n_chunks == 1) {
+    for (std::size_t b = begin; b < end; b += grain) {
+      fn(b, std::min(end, b + grain));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->end = end;
+  state->grain = grain;
+  state->n_chunks = n_chunks;
+  state->fn = &fn;
+  state->next_chunk_begin.store(begin);
+
+  // One helper per worker, capped by the number of chunks beyond the one the
+  // calling thread will take itself.
+  const std::size_t helpers = std::min(pool->num_threads(), n_chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    pool->Submit([state] {
+      if (state->RunChunks()) {
+        state->all_done.NotifyAll();
+      }
+    });
+  }
+
+  // The calling thread participates instead of idling, then blocks until the
+  // helpers have drained the chunks they claimed.
+  const bool finished_last = state->RunChunks();
+  if (finished_last) {
+    state->all_done.NotifyAll();
+  }
+  MutexLock lock(state->mutex);
+  state->all_done.Wait(state->mutex, [&state] {
+    state->mutex.AssertHeld();
+    return state->chunks_done == state->n_chunks;
+  });
+}
+
+}  // namespace ca

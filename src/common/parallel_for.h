@@ -1,0 +1,36 @@
+// Data-parallel index loop on top of ThreadPool.
+//
+// ParallelFor splits [begin, end) into contiguous chunks of at most `grain`
+// indices and runs `fn(chunk_begin, chunk_end)` for each chunk, using the
+// pool's workers *and* the calling thread. It blocks until every chunk has
+// finished, and only its own chunks — concurrent ParallelFor calls may share
+// one pool without waiting on each other's work (unlike ThreadPool::Wait).
+//
+// Determinism contract: chunk boundaries only partition the index space;
+// every index is visited exactly once and each fn invocation iterates its
+// chunk in ascending order on a single thread. A kernel whose per-index
+// computation does not depend on the chunk boundaries (e.g. one output row
+// per index, reduced in a fixed order) therefore produces bitwise-identical
+// results for any pool size, including pool == nullptr (fully serial, on the
+// calling thread, in one chunk-sized step at a time).
+#ifndef CA_COMMON_PARALLEL_FOR_H_
+#define CA_COMMON_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "src/common/thread_pool.h"
+
+namespace ca {
+
+// Runs fn(chunk_begin, chunk_end) over disjoint chunks covering
+// [begin, end), each chunk at most `grain` indices (grain 0 is treated as
+// 1). With a null pool, or a range that fits in a single chunk, fn runs
+// inline on the calling thread. fn must not throw (this codebase is
+// exception-free; workers would terminate).
+void ParallelFor(ThreadPool* pool, std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace ca
+
+#endif  // CA_COMMON_PARALLEL_FOR_H_

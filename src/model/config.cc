@@ -12,6 +12,7 @@ void ModelConfig::Validate() const {
   CA_CHECK_EQ(head_dim() % 2, 0U) << "RoPE requires even head_dim";
   CA_CHECK_GT(vocab_size, 0U);
   CA_CHECK_GT(context_window, 0U);
+  CA_CHECK_GT(num_threads, 0U) << "num_threads = 1 is the serial reference";
 }
 
 ModelConfig ModelConfig::Mini() {

@@ -40,6 +40,19 @@ struct ModelConfig {
   std::size_t d_ff = 256;
   std::size_t context_window = 256;
   float rope_theta = 10000.0f;
+  // Compute threads for the forward pass (matmuls, per-head attention).
+  // 1 = fully serial on the calling thread — the bit-exact reference; any
+  // other value produces bitwise-identical outputs (see DESIGN.md §9's
+  // determinism contract) but overlaps the work across a thread pool owned
+  // by the Transformer.
+  std::size_t num_threads = 1;
+
+  // Returns a copy with num_threads = n (convenience for tests/benches).
+  ModelConfig WithThreads(std::size_t n) const {
+    ModelConfig c = *this;
+    c.num_threads = n;
+    return c;
+  }
 
   std::size_t head_dim() const { return d_model / n_heads; }
   std::size_t kv_dim() const { return n_kv_heads * head_dim(); }

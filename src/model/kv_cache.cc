@@ -38,12 +38,49 @@ std::size_t KvCache::layer_len(std::size_t layer) const {
   return k_[layer].size() / kv_dim_;
 }
 
+namespace {
+
+// Appends one row with explicitly geometric capacity growth. libstdc++
+// already doubles on insert, but the 2x policy is a guarantee we rely on
+// (prefill must not be O(n^2) reallocation), not an implementation detail
+// to inherit silently.
+void AppendRow(std::vector<float>& dst, std::span<const float> row) {
+  if (dst.size() + row.size() > dst.capacity()) {
+    dst.reserve(std::max(dst.size() + row.size(), 2 * dst.capacity()));
+  }
+  dst.insert(dst.end(), row.begin(), row.end());
+}
+
+}  // namespace
+
 void KvCache::Append(std::size_t layer, std::span<const float> k, std::span<const float> v) {
   CA_CHECK_LT(layer, k_.size());
   CA_CHECK_EQ(k.size(), kv_dim_);
   CA_CHECK_EQ(v.size(), kv_dim_);
-  k_[layer].insert(k_[layer].end(), k.begin(), k.end());
-  v_[layer].insert(v_[layer].end(), v.begin(), v.end());
+  AppendRow(k_[layer], k);
+  AppendRow(v_[layer], v);
+}
+
+void KvCache::Reserve(std::size_t total_tokens) {
+  const std::size_t floats = total_tokens * kv_dim_;
+  for (std::size_t layer = 0; layer < k_.size(); ++layer) {
+    if (k_[layer].capacity() < floats) {
+      k_[layer].reserve(floats);
+    }
+    if (v_[layer].capacity() < floats) {
+      v_[layer].reserve(floats);
+    }
+  }
+}
+
+std::span<const float> KvCache::LayerK(std::size_t layer) const {
+  CA_CHECK_LT(layer, k_.size());
+  return {k_[layer].data(), k_[layer].size()};
+}
+
+std::span<const float> KvCache::LayerV(std::size_t layer) const {
+  CA_CHECK_LT(layer, v_.size());
+  return {v_[layer].data(), v_[layer].size()};
 }
 
 std::span<const float> KvCache::K(std::size_t layer, std::size_t token) const {

@@ -43,10 +43,23 @@ class KvCache {
   // Appends one token's K and V rows (each kv_dim floats) to `layer`.
   void Append(std::size_t layer, std::span<const float> k, std::span<const float> v);
 
+  // Pre-sizes every layer's storage for `total_tokens` tokens (no-op if
+  // already that large). Called by the forward pass with history + new so a
+  // prefill appends into storage grown once up front instead of paying
+  // vector regrowth copies mid-pass; also keeps LayerK/LayerV spans stable
+  // across the Appends of one forward.
+  void Reserve(std::size_t total_tokens);
+
   // Row accessors.
   std::span<const float> K(std::size_t layer, std::size_t token) const;
   std::span<const float> V(std::size_t layer, std::size_t token) const;
   std::span<float> MutableK(std::size_t layer, std::size_t token);
+
+  // Whole-layer accessors for the attention hot loop: token t's row occupies
+  // [t * kv_dim(), (t + 1) * kv_dim()). Bounds-checked once per layer
+  // instead of once per (token, head) like K()/V().
+  std::span<const float> LayerK(std::size_t layer) const;
+  std::span<const float> LayerV(std::size_t layer) const;
 
   // Drops the oldest `n_tokens` tokens from every layer. With kDecoupled
   // this is the paper's KV cache truncation; with kCoupled it deliberately

@@ -4,9 +4,32 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/common/parallel_for.h"
 #include "src/tensor/ops.h"
 
 namespace ca {
+
+namespace {
+
+// Scratch reused across forward passes: steady-state decode allocates
+// nothing. One arena per thread because engines may serve sessions from
+// several threads through one shared Transformer.
+ScratchArena& ThreadScratch() {
+  static thread_local ScratchArena arena;
+  return arena;
+}
+
+// Per-worker score buffer for the attention loop (sized to the longest
+// context seen by that thread).
+std::vector<float>& ThreadScores(std::size_t total) {
+  static thread_local std::vector<float> scores;
+  if (scores.size() < total) {
+    scores.resize(total);
+  }
+  return scores;
+}
+
+}  // namespace
 
 Transformer::Transformer(ModelConfig config, std::uint64_t seed)
     : config_(std::move(config)), rope_(config_.head_dim(), config_.rope_theta) {
@@ -34,10 +57,13 @@ Transformer::Transformer(ModelConfig config, std::uint64_t seed)
     w.w3 = Tensor::Randn({config_.d_ff, d}, rng, scale);
     layers_.push_back(std::move(w));
   }
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads - 1);
+  }
 }
 
 void Transformer::AttentionBlock(std::size_t layer, Tensor& x, KvCache& cache,
-                                 std::size_t history_len,
+                                 std::size_t history_len, ScratchArena& scratch,
                                  AttentionObserver* observer) const {
   const auto& w = layers_[layer];
   const std::size_t n = x.dim(0);
@@ -48,19 +74,21 @@ void Transformer::AttentionBlock(std::size_t layer, Tensor& x, KvCache& cache,
   const std::size_t group = config_.gqa_group();
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim));
 
-  Tensor xn({n, d});
+  Tensor xn = scratch.Alloc2d(n, d);
   RmsNormRows(x, w.rms_att.span(), xn);
 
-  Tensor q({n, config_.q_dim()});
-  Tensor k({n, kv_dim});
-  Tensor v({n, kv_dim});
-  MatMulTransposedB(xn, w.wq, q);
-  MatMulTransposedB(xn, w.wk, k);
-  MatMulTransposedB(xn, w.wv, v);
+  Tensor q = scratch.Alloc2d(n, config_.q_dim());
+  Tensor k = scratch.Alloc2d(n, kv_dim);
+  Tensor v = scratch.Alloc2d(n, kv_dim);
+  MatMulTransposedB(xn, w.wq, q, pool());
+  MatMulTransposedB(xn, w.wk, k, pool());
+  MatMulTransposedB(xn, w.wv, v, pool());
 
   // Append this token batch's KV rows to the cache. In coupled mode K is
   // rotated to its absolute position *before* caching (conventional
-  // engines); in decoupled mode it is cached raw (§3.4).
+  // engines); in decoupled mode it is cached raw (§3.4). Forward() reserved
+  // history + n tokens, so these appends never reallocate the layer storage
+  // and the LayerK/LayerV spans below stay stable.
   CA_CHECK_EQ(cache.layer_len(layer), history_len);
   for (std::size_t t = 0; t < n; ++t) {
     const std::size_t pos = history_len + t;
@@ -70,17 +98,28 @@ void Transformer::AttentionBlock(std::size_t layer, Tensor& x, KvCache& cache,
     cache.Append(layer, {k.row(t), kv_dim}, {v.row(t), kv_dim});
   }
 
-  // Materialise position-encoded K for the whole (history + new) context.
-  // Decoupled mode embeds position = current index here — this is the
-  // re-embedding step that makes truncated caches valid.
+  // K rows the attention dot products read, position-encoded:
+  //  * coupled — the cache already holds post-RoPE K; read it in place (no
+  //    per-step copy of the whole history);
+  //  * decoupled — re-embed position = current index into a reused scratch
+  //    buffer. This is the §3.4 re-embedding step that makes truncated
+  //    caches valid; it must materialise because the cached rows stay raw.
   const std::size_t total = history_len + n;
-  Tensor k_eff({total, kv_dim});
-  for (std::size_t t = 0; t < total; ++t) {
-    const auto src = cache.K(layer, t);
-    std::memcpy(k_eff.row(t), src.data(), kv_dim * sizeof(float));
-    if (cache.pe_mode() == PeMode::kDecoupled) {
-      rope_.ApplyAllHeads({k_eff.row(t), kv_dim}, t);
-    }
+  const float* k_src;
+  if (cache.pe_mode() == PeMode::kCoupled) {
+    k_src = cache.LayerK(layer).data();
+  } else {
+    Tensor k_eff = scratch.Alloc2d(total, kv_dim);
+    const float* k_raw = cache.LayerK(layer).data();
+    ParallelFor(pool(), 0, total, /*grain=*/32,
+                [&](std::size_t row_begin, std::size_t row_end) {
+                  for (std::size_t t = row_begin; t < row_end; ++t) {
+                    float* row = k_eff.row(t);
+                    std::memcpy(row, k_raw + t * kv_dim, kv_dim * sizeof(float));
+                    rope_.ApplyAllHeads({row, kv_dim}, t);
+                  }
+                });
+    k_src = k_eff.data();
   }
 
   // Rotate Q at its absolute position (both modes).
@@ -88,49 +127,58 @@ void Transformer::AttentionBlock(std::size_t layer, Tensor& x, KvCache& cache,
     rope_.ApplyAllHeads({q.row(t), config_.q_dim()}, history_len + t);
   }
 
-  // Per-head causal attention. attn_out packs heads like Q.
-  Tensor attn_out({n, config_.q_dim()});
-  attn_out.Fill(0.0f);
-  std::vector<float> scores(total);
-  for (std::size_t t = 0; t < n; ++t) {
-    const std::size_t ctx = history_len + t + 1;  // causal horizon
-    for (std::size_t h = 0; h < n_heads; ++h) {
-      const std::size_t kv_h = h / group;
-      const std::span<const float> qh{q.row(t) + h * head_dim, head_dim};
-      for (std::size_t j = 0; j < ctx; ++j) {
-        const std::span<const float> kh{k_eff.row(j) + kv_h * head_dim, head_dim};
-        scores[j] = Dot(qh, kh) * inv_sqrt_d;
-      }
-      SoftmaxRow({scores.data(), ctx});
-      if (observer != nullptr) {
-        observer->OnAttention(layer, h, history_len + t, {scores.data(), ctx});
-      }
-      const std::span<float> oh{attn_out.row(t) + h * head_dim, head_dim};
-      for (std::size_t j = 0; j < ctx; ++j) {
-        const auto vh = cache.V(layer, j).subspan(kv_h * head_dim, head_dim);
-        Axpy(scores[j], vh, oh);
-      }
-    }
-  }
+  // Per-head causal attention, parallel over (query, head) work items.
+  // Every item owns its attn_out slice and reduces over the context in a
+  // fixed j order, so any thread count is bitwise-identical to serial. With
+  // an observer attached the loop stays serial: observers see distributions
+  // in the documented (query-major, head-minor) order and may accumulate
+  // floats, where ordering matters.
+  Tensor attn_out = scratch.Alloc2d(n, config_.q_dim());
+  const float* v_base = cache.LayerV(layer).data();
+  ThreadPool* attn_pool = observer == nullptr ? pool() : nullptr;
+  ParallelFor(attn_pool, 0, n * n_heads, /*grain=*/std::max<std::size_t>(1, n_heads / 2),
+              [&](std::size_t item_begin, std::size_t item_end) {
+                std::vector<float>& scores = ThreadScores(total);
+                for (std::size_t item = item_begin; item < item_end; ++item) {
+                  const std::size_t t = item / n_heads;
+                  const std::size_t h = item % n_heads;
+                  const std::size_t ctx = history_len + t + 1;  // causal horizon
+                  const std::size_t kv_off = (h / group) * head_dim;
+                  const float* qh = q.row(t) + h * head_dim;
+                  for (std::size_t j = 0; j < ctx; ++j) {
+                    scores[j] = DotUnchecked(qh, k_src + j * kv_dim + kv_off, head_dim) *
+                                inv_sqrt_d;
+                  }
+                  SoftmaxRow({scores.data(), ctx});
+                  if (observer != nullptr) {
+                    observer->OnAttention(layer, h, history_len + t, {scores.data(), ctx});
+                  }
+                  float* oh = attn_out.row(t) + h * head_dim;
+                  std::memset(oh, 0, head_dim * sizeof(float));
+                  for (std::size_t j = 0; j < ctx; ++j) {
+                    AxpyUnchecked(scores[j], v_base + j * kv_dim + kv_off, oh, head_dim);
+                  }
+                }
+              });
 
-  Tensor proj({n, d});
-  MatMulTransposedB(attn_out, w.wo, proj);
+  Tensor proj = scratch.Alloc2d(n, d);
+  MatMulTransposedB(attn_out, w.wo, proj, pool());
   AddInPlace(x, proj);
 }
 
-void Transformer::FfnBlock(std::size_t layer, Tensor& x) const {
+void Transformer::FfnBlock(std::size_t layer, Tensor& x, ScratchArena& scratch) const {
   const auto& w = layers_[layer];
   const std::size_t n = x.dim(0);
-  Tensor xn({n, config_.d_model});
+  Tensor xn = scratch.Alloc2d(n, config_.d_model);
   RmsNormRows(x, w.rms_ffn.span(), xn);
-  Tensor gate({n, config_.d_ff});
-  Tensor up({n, config_.d_ff});
-  MatMulTransposedB(xn, w.w1, gate);
-  MatMulTransposedB(xn, w.w3, up);
+  Tensor gate = scratch.Alloc2d(n, config_.d_ff);
+  Tensor up = scratch.Alloc2d(n, config_.d_ff);
+  MatMulTransposedB(xn, w.w1, gate, pool());
+  MatMulTransposedB(xn, w.w3, up, pool());
   SiluInPlace(gate);
   MulInPlace(gate, up);
-  Tensor down({n, config_.d_model});
-  MatMulTransposedB(gate, w.w2, down);
+  Tensor down = scratch.Alloc2d(n, config_.d_model);
+  MatMulTransposedB(gate, w.w2, down, pool());
   AddInPlace(x, down);
 }
 
@@ -145,7 +193,15 @@ Tensor Transformer::Forward(std::span<const TokenId> tokens, KvCache& cache,
 
   const std::size_t n = tokens.size();
   const std::size_t d = config_.d_model;
-  Tensor x({n, d});
+
+  // Grow the cache once for the whole pass (prefill would otherwise pay
+  // per-append vector regrowth), and reclaim the scratch of the previous
+  // pass. x is arena-backed too: it dies with the pass.
+  cache.Reserve(history_len + n);
+  ScratchArena& scratch = ThreadScratch();
+  scratch.Reset();
+
+  Tensor x = scratch.Alloc2d(n, d);
   for (std::size_t t = 0; t < n; ++t) {
     const auto id = tokens[t];
     CA_CHECK_GE(id, 0);
@@ -154,14 +210,16 @@ Tensor Transformer::Forward(std::span<const TokenId> tokens, KvCache& cache,
   }
 
   for (std::size_t layer = 0; layer < config_.n_layers; ++layer) {
-    AttentionBlock(layer, x, cache, history_len, observer);
-    FfnBlock(layer, x);
+    AttentionBlock(layer, x, cache, history_len, scratch, observer);
+    FfnBlock(layer, x, scratch);
   }
 
-  Tensor xn({n, d});
+  Tensor xn = scratch.Alloc2d(n, d);
   RmsNormRows(x, rms_final_.span(), xn);
+  // The logits outlive the pass (they are the return value), so they own
+  // their storage instead of borrowing the arena's.
   Tensor logits({n, config_.vocab_size});
-  MatMulTransposedB(xn, lm_head_, logits);
+  MatMulTransposedB(xn, lm_head_, logits, pool());
   return logits;
 }
 

@@ -9,12 +9,15 @@
 #define CA_MODEL_TRANSFORMER_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/model/config.h"
 #include "src/model/kv_cache.h"
 #include "src/model/rope.h"
+#include "src/tensor/arena.h"
 #include "src/tensor/tensor.h"
 
 namespace ca {
@@ -49,7 +52,11 @@ struct LayerWeights {
 
 class Transformer {
  public:
-  // Deterministic random initialisation from `seed`.
+  // Deterministic random initialisation from `seed`. When
+  // config.num_threads > 1 the instance owns a ThreadPool of
+  // num_threads - 1 workers (the calling thread participates, so the
+  // configured count is the true parallel width); outputs are
+  // bitwise-identical to num_threads == 1 (DESIGN.md §9).
   Transformer(ModelConfig config, std::uint64_t seed);
 
   const ModelConfig& config() const { return config_; }
@@ -89,8 +96,13 @@ class Transformer {
 
  private:
   void AttentionBlock(std::size_t layer, Tensor& x, KvCache& cache, std::size_t history_len,
-                      AttentionObserver* observer) const;
-  void FfnBlock(std::size_t layer, Tensor& x) const;
+                      ScratchArena& scratch, AttentionObserver* observer) const;
+  void FfnBlock(std::size_t layer, Tensor& x, ScratchArena& scratch) const;
+
+  // Compute pool for the forward pass; null when num_threads == 1. Safe to
+  // share across concurrent Forward calls (ParallelFor waits only on its
+  // own chunks).
+  ThreadPool* pool() const { return pool_.get(); }
 
   ModelConfig config_;
   RopeTable rope_;
@@ -98,6 +110,7 @@ class Transformer {
   Tensor rms_final_;   // [d_model]
   Tensor lm_head_;     // [vocab, d_model]
   std::vector<LayerWeights> layers_;
+  std::unique_ptr<ThreadPool> pool_;  // created in ctor, workers = num_threads - 1
 };
 
 }  // namespace ca

@@ -1,0 +1,62 @@
+#include "src/tensor/arena.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace ca {
+
+namespace {
+
+// Minimum slab size (floats): 16 KiB, enough for a whole decode-step's
+// activations on the mini presets so the common case is a single slab.
+constexpr std::size_t kMinSlabFloats = 4096;
+
+}  // namespace
+
+float* ScratchArena::AllocRaw(std::size_t n) {
+  CA_CHECK_GT(n, 0U);
+  if (slabs_.empty() || slabs_.back().size - used_ < n) {
+    // Grow geometrically; earlier slabs stay alive so outstanding views
+    // survive until Reset().
+    const std::size_t next_size = std::max({n, capacity() * 2, kMinSlabFloats});
+    Slab slab;
+    slab.data = std::make_unique<float[]>(next_size);
+    slab.size = next_size;
+    slabs_.push_back(std::move(slab));
+    used_ = 0;
+  }
+  float* out = slabs_.back().data.get() + used_;
+  used_ += n;
+  return out;
+}
+
+Tensor ScratchArena::Alloc2d(std::size_t rows, std::size_t cols) {
+  return Tensor::View(AllocRaw(rows * cols), {rows, cols});
+}
+
+std::span<float> ScratchArena::AllocSpan(std::size_t n) {
+  return {AllocRaw(n), n};
+}
+
+void ScratchArena::Reset() {
+  if (slabs_.size() > 1) {
+    const std::size_t total = capacity();
+    slabs_.clear();
+    Slab slab;
+    slab.data = std::make_unique<float[]>(total);
+    slab.size = total;
+    slabs_.push_back(std::move(slab));
+  }
+  used_ = 0;
+}
+
+std::size_t ScratchArena::capacity() const {
+  std::size_t total = 0;
+  for (const Slab& slab : slabs_) {
+    total += slab.size;
+  }
+  return total;
+}
+
+}  // namespace ca

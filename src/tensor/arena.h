@@ -1,0 +1,67 @@
+// Bump-allocated scratch memory for the model's forward pass.
+//
+// A forward pass used to heap-allocate five fresh activation tensors per
+// attention block per layer (and four more per FFN block); at decode time
+// that is dozens of malloc/free pairs per generated token. ScratchArena
+// replaces them with pointer-bump allocations out of slabs that persist
+// across forward passes, so the steady-state allocation count per token is
+// zero.
+//
+// Lifetime rules (see DESIGN.md §9):
+//  * Alloc2d / AllocSpan return UNINITIALISED memory — the caller must fully
+//    overwrite it (every kernel fed from the arena writes its entire
+//    output).
+//  * Every pointer handed out stays valid until the next Reset(): growth
+//    appends a new slab instead of reallocating, so outstanding views are
+//    never invalidated mid-pass.
+//  * Reset() invalidates everything at once and coalesces the slabs, so the
+//    next pass runs from a single right-sized slab.
+//  * Not thread-safe; use one arena per thread (the transformer keeps a
+//    thread_local one).
+#ifndef CA_TENSOR_ARENA_H_
+#define CA_TENSOR_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace ca {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  // Uninitialised [rows, cols] tensor view backed by arena memory.
+  Tensor Alloc2d(std::size_t rows, std::size_t cols);
+
+  // Uninitialised span of n floats backed by arena memory.
+  std::span<float> AllocSpan(std::size_t n);
+
+  // Invalidates every outstanding allocation; retains (and coalesces) the
+  // capacity for the next pass.
+  void Reset();
+
+  // Total floats reserved across slabs.
+  std::size_t capacity() const;
+
+ private:
+  struct Slab {
+    std::unique_ptr<float[]> data;
+    std::size_t size = 0;
+  };
+
+  float* AllocRaw(std::size_t n);
+
+  std::vector<Slab> slabs_;  // slabs_.back() is the active bump slab
+  std::size_t used_ = 0;     // floats consumed from the active slab
+};
+
+}  // namespace ca
+
+#endif  // CA_TENSOR_ARENA_H_

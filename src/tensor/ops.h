@@ -1,22 +1,30 @@
 // Dense kernels for the model executor: matmul, softmax, rmsnorm, silu,
 // elementwise ops. All operate on fp32 row-major tensors.
+//
+// The matmuls optionally run data-parallel over output rows on a ThreadPool
+// (see src/common/parallel_for.h). Each output row is produced entirely by
+// one task with a fixed reduction order, so parallel results are
+// bitwise-identical to serial (`pool == nullptr`) ones — the serial path
+// stays the reference the tests compare against.
 #ifndef CA_TENSOR_OPS_H_
 #define CA_TENSOR_OPS_H_
 
 #include <cstddef>
 #include <span>
 
+#include "src/common/thread_pool.h"
 #include "src/tensor/tensor.h"
 
 namespace ca {
 
 // out[m,n] = a[m,k] @ b[k,n]. out must be preallocated and distinct from
-// both inputs.
-void MatMul(const Tensor& a, const Tensor& b, Tensor& out);
+// both inputs. Parallel over rows of `out` when pool != nullptr.
+void MatMul(const Tensor& a, const Tensor& b, Tensor& out, ThreadPool* pool = nullptr);
 
 // out[m,n] = a[m,k] @ b[n,k]^T  (b given row-major as [n,k]; this is the
-// layout of projection weight matrices and of K against Q).
-void MatMulTransposedB(const Tensor& a, const Tensor& b, Tensor& out);
+// layout of projection weight matrices and of K against Q). Parallel over
+// rows of `out` when pool != nullptr.
+void MatMulTransposedB(const Tensor& a, const Tensor& b, Tensor& out, ThreadPool* pool = nullptr);
 
 // In-place numerically-stable softmax over the last dimension of a 2-D
 // tensor (each row independently).
@@ -37,6 +45,43 @@ void Add(const Tensor& a, const Tensor& b, Tensor& out);
 void AddInPlace(Tensor& a, const Tensor& b);
 // a *= b elementwise.
 void MulInPlace(Tensor& a, const Tensor& b);
+
+// Unchecked hot-loop primitives. Four-accumulator unrolled loops: the
+// independent partial sums give the compiler ILP/SLP headroom while keeping
+// a deterministic, input-shape-only reduction order.
+//
+// sum(a[i] * b[i]) over n contiguous floats.
+inline float DotUnchecked(const float* a, const float* b, std::size_t n) {
+  float acc0 = 0.0f;
+  float acc1 = 0.0f;
+  float acc2 = 0.0f;
+  float acc3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) {
+    acc0 += a[i] * b[i];
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+// y[i] += alpha * x[i] over n contiguous floats.
+inline void AxpyUnchecked(float alpha, const float* x, float* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    y[i] += alpha * x[i];
+    y[i + 1] += alpha * x[i + 1];
+    y[i + 2] += alpha * x[i + 2];
+    y[i + 3] += alpha * x[i + 3];
+  }
+  for (; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
 
 // Dot product of two length-n float spans.
 float Dot(std::span<const float> a, std::span<const float> b);

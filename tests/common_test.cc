@@ -5,8 +5,10 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "src/common/check.h"
+#include "src/common/parallel_for.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
@@ -341,6 +343,78 @@ TEST(ThreadPoolTest, TasksCanSubmitMoreWork) {
   // it enqueues the child.
   pool.Wait();
   EXPECT_EQ(counter.load(), 2);
+}
+
+// --- ParallelFor ----------------------------------------------------------
+
+TEST(ParallelForTest, EmptyRangeNeverInvokes) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  ParallelFor(&pool, 0, 0, 4, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  ParallelFor(&pool, 7, 7, 4, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  ParallelFor(nullptr, 3, 3, 1, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeIsOneInlineChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::size_t seen_begin = 99;
+  std::size_t seen_end = 0;
+  ParallelFor(&pool, 2, 5, 100, [&](std::size_t b, std::size_t e) {
+    calls.fetch_add(1);
+    seen_begin = b;
+    seen_end = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_begin, 2U);
+  EXPECT_EQ(seen_end, 5U);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(&pool, 0, kN, 7, [&](std::size_t b, std::size_t e) {
+    ASSERT_LT(b, e);
+    ASSERT_LE(e, kN);
+    for (std::size_t i = b; i < e; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsSerialInOrder) {
+  std::vector<std::size_t> order;
+  ParallelFor(nullptr, 0, 10, 3, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      order.push_back(i);
+    }
+  });
+  ASSERT_EQ(order.size(), 10U);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ParallelForTest, ReentrantFromPoolTasks) {
+  // A ParallelFor caller must only wait on its own chunks, so two
+  // concurrent ParallelFor calls sharing one pool cannot deadlock or steal
+  // each other's completion signal.
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  ThreadPool outer(2);
+  for (int c = 0; c < 2; ++c) {
+    outer.Submit([&] {
+      ParallelFor(&pool, 0, 100, 5,
+                  [&](std::size_t b, std::size_t e) { total.fetch_add(static_cast<int>(e - b)); });
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(total.load(), 200);
 }
 
 }  // namespace

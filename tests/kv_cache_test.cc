@@ -56,6 +56,47 @@ TEST(KvCacheTest, ByteSizeMatchesConfigFormula) {
   EXPECT_EQ(cache.byte_size(), 7 * config.kv_bytes_per_token());
 }
 
+TEST(KvCacheTest, LayerAccessorsSeeWholeHistory) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kDecoupled);
+  FillCache(cache, 3);
+  for (std::size_t layer = 0; layer < cache.n_layers(); ++layer) {
+    const auto k = cache.LayerK(layer);
+    const auto v = cache.LayerV(layer);
+    ASSERT_EQ(k.size(), 3 * cache.kv_dim());
+    ASSERT_EQ(v.size(), 3 * cache.kv_dim());
+    for (std::size_t t = 0; t < 3; ++t) {
+      // Token t's row lives at [t*kv_dim, (t+1)*kv_dim) and matches K/V.
+      EXPECT_EQ(k[t * cache.kv_dim()], cache.K(layer, t)[0]);
+      EXPECT_EQ(v[t * cache.kv_dim() + 1], cache.V(layer, t)[1]);
+    }
+  }
+}
+
+TEST(KvCacheTest, ReserveKeepsLayerSpansStableAcrossAppends) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kDecoupled);
+  FillCache(cache, 2);
+  cache.Reserve(40);
+  const float* k_base = cache.LayerK(0).data();
+  const float* v_base = cache.LayerV(0).data();
+  FillCache(cache, 40);  // stays within the reservation: no reallocation
+  EXPECT_EQ(cache.LayerK(0).data(), k_base);
+  EXPECT_EQ(cache.LayerV(0).data(), v_base);
+  EXPECT_EQ(cache.seq_len(), 40U);
+  EXPECT_EQ(cache.K(0, 39)[0], 3900.0f);
+}
+
+TEST(KvCacheTest, ReserveDoesNotChangeLength) {
+  KvCache cache(ModelConfig::Mini(), PeMode::kCoupled);
+  FillCache(cache, 3);
+  cache.Reserve(100);
+  EXPECT_EQ(cache.seq_len(), 3U);
+  EXPECT_EQ(cache.byte_size(), 3 * ModelConfig::Mini().kv_bytes_per_token());
+  cache.Reserve(1);  // shrinking reservations are a no-op
+  EXPECT_EQ(cache.seq_len(), 3U);
+}
+
 TEST(KvCacheTest, TruncateFrontDropsOldest) {
   KvCache cache(ModelConfig::Mini(), PeMode::kDecoupled);
   FillCache(cache, 5);

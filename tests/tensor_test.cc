@@ -1,9 +1,14 @@
 // Tests for the tensor library and its kernels.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <tuple>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/tensor/arena.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/tensor.h"
 
@@ -228,6 +233,95 @@ INSTANTIATE_TEST_SUITE_P(Shapes, MatMulShapes,
                          ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 8, 3),
                                            std::make_tuple(5, 3, 7), std::make_tuple(16, 32, 8),
                                            std::make_tuple(3, 64, 64)));
+
+// --- Parallel kernels: bitwise-identical to serial ------------------------
+//
+// The determinism contract (DESIGN.md §9): each output row is produced by
+// exactly one ParallelFor chunk with a fixed, shape-only reduction order, so
+// a pooled run must match the serial run bit for bit — including odd shapes
+// (1x1, rows < grain, dims that are not a multiple of the 4-wide tile).
+
+class ParallelMatMulShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ParallelMatMulShapes, MatMulBitwiseMatchesSerial) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 7919 + k * 131 + n));
+  Tensor a = Tensor::Randn({static_cast<std::size_t>(m), static_cast<std::size_t>(k)}, rng);
+  Tensor b = Tensor::Randn({static_cast<std::size_t>(k), static_cast<std::size_t>(n)}, rng);
+  Tensor serial({static_cast<std::size_t>(m), static_cast<std::size_t>(n)});
+  Tensor parallel({static_cast<std::size_t>(m), static_cast<std::size_t>(n)});
+  MatMul(a, b, serial);
+  ThreadPool pool(4);
+  MatMul(a, b, parallel, &pool);
+  EXPECT_EQ(std::memcmp(serial.data(), parallel.data(), serial.numel() * sizeof(float)), 0);
+}
+
+TEST_P(ParallelMatMulShapes, MatMulTransposedBBitwiseMatchesSerial) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 104729 + k * 433 + n));
+  Tensor a = Tensor::Randn({static_cast<std::size_t>(m), static_cast<std::size_t>(k)}, rng);
+  Tensor bt = Tensor::Randn({static_cast<std::size_t>(n), static_cast<std::size_t>(k)}, rng);
+  Tensor serial({static_cast<std::size_t>(m), static_cast<std::size_t>(n)});
+  Tensor parallel({static_cast<std::size_t>(m), static_cast<std::size_t>(n)});
+  MatMulTransposedB(a, bt, serial);
+  ThreadPool pool(4);
+  MatMulTransposedB(a, bt, parallel, &pool);
+  EXPECT_EQ(std::memcmp(serial.data(), parallel.data(), serial.numel() * sizeof(float)), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(OddShapes, ParallelMatMulShapes,
+                         ::testing::Values(std::make_tuple(1, 1, 1),    // degenerate
+                                           std::make_tuple(2, 8, 4),    // m < default grain
+                                           std::make_tuple(7, 9, 5),    // nothing divides 4
+                                           std::make_tuple(13, 31, 17),  // prime everything
+                                           std::make_tuple(64, 33, 66)));
+
+// --- ScratchArena ---------------------------------------------------------
+
+TEST(ScratchArenaTest, Alloc2dShapesAndWritable) {
+  ScratchArena arena;
+  Tensor t = arena.Alloc2d(3, 5);
+  EXPECT_EQ(t.dim(0), 3U);
+  EXPECT_EQ(t.dim(1), 5U);
+  t.Fill(2.5f);
+  EXPECT_EQ(t.at2(2, 4), 2.5f);
+}
+
+TEST(ScratchArenaTest, PointersStableAcrossGrowth) {
+  ScratchArena arena;
+  Tensor first = arena.Alloc2d(4, 4);
+  first.Fill(7.0f);
+  float* base = first.data();
+  // Force several slab growths; earlier allocations must not move.
+  for (int i = 0; i < 8; ++i) {
+    (void)arena.AllocSpan(1 << (10 + i));
+  }
+  EXPECT_EQ(first.data(), base);
+  EXPECT_EQ(first.at2(3, 3), 7.0f);
+}
+
+TEST(ScratchArenaTest, ResetReusesCapacityWithoutGrowth) {
+  ScratchArena arena;
+  (void)arena.AllocSpan(10000);
+  arena.Reset();
+  const std::size_t cap = arena.capacity();
+  EXPECT_GE(cap, 10000U);
+  // Everything fits into the coalesced slab: capacity must not grow again.
+  (void)arena.AllocSpan(4000);
+  (void)arena.AllocSpan(4000);
+  EXPECT_EQ(arena.capacity(), cap);
+}
+
+TEST(ScratchArenaTest, SpansDoNotOverlap) {
+  ScratchArena arena;
+  auto a = arena.AllocSpan(100);
+  auto b = arena.AllocSpan(100);
+  std::fill(a.begin(), a.end(), 1.0f);
+  std::fill(b.begin(), b.end(), 2.0f);
+  for (float v : a) {
+    EXPECT_EQ(v, 1.0f);
+  }
+}
 
 }  // namespace
 }  // namespace ca

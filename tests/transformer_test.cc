@@ -2,6 +2,7 @@
 // consistency, GQA variants, CachedAttention partial prefill equivalence.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "src/model/sampler.h"
@@ -111,6 +112,37 @@ TEST(TransformerTest, CoupledAndDecoupledAgreeWithoutTruncation) {
   const Tensor ld = model.Forward(tokens, dec);
   const Tensor lc = model.Forward(tokens, cpl);
   EXPECT_LT(MaxAbsDiff(ld, lc), 2e-4f);
+}
+
+// The parallel determinism contract (DESIGN.md §9): any num_threads gives
+// logits AND cache contents bitwise-identical to the serial reference, in
+// both PE modes, for prefill and for a decode step on warm history.
+TEST(TransformerTest, ThreadedForwardBitwiseMatchesSerial) {
+  const ModelConfig serial_config = ModelConfig::Mini();
+  const Transformer serial(serial_config, 21);
+  const Transformer threaded(serial_config.WithThreads(4), 21);
+  const auto prompt = MakeTokens(24, 9, serial_config.vocab_size);
+
+  for (const PeMode mode : {PeMode::kDecoupled, PeMode::kCoupled}) {
+    KvCache scache = serial.MakeCache(mode);
+    KvCache tcache = threaded.MakeCache(mode);
+
+    const Tensor sl = serial.Forward(prompt, scache);
+    const Tensor tl = threaded.Forward(prompt, tcache);
+    ASSERT_EQ(sl.numel(), tl.numel());
+    EXPECT_EQ(std::memcmp(sl.data(), tl.data(), sl.numel() * sizeof(float)), 0)
+        << "prefill logits diverge, mode " << static_cast<int>(mode);
+
+    const auto sbytes = scache.Serialize();
+    const auto tbytes = tcache.Serialize();
+    EXPECT_EQ(sbytes, tbytes) << "cache contents diverge, mode " << static_cast<int>(mode);
+
+    const TokenId tok[] = {3};
+    const Tensor sd = serial.Forward(tok, scache);
+    const Tensor td = threaded.Forward(tok, tcache);
+    EXPECT_EQ(std::memcmp(sd.data(), td.data(), sd.numel() * sizeof(float)), 0)
+        << "decode-step logits diverge, mode " << static_cast<int>(mode);
+  }
 }
 
 TEST(TransformerTest, GqaAndMhaConfigsRun) {
