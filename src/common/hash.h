@@ -1,0 +1,27 @@
+// Non-cryptographic content hashing.
+//
+// Fnv1a64 is the integrity checksum of the store's fault-tolerance layer
+// (DESIGN.md §10): AttentionStore stamps every saved payload and verifies it
+// on read, so a torn write or short read is detected and degraded to a cache
+// miss instead of being fed into attention. FNV-1a is not collision-proof
+// against an adversary; it only needs to catch accidental corruption.
+#ifndef CA_COMMON_HASH_H_
+#define CA_COMMON_HASH_H_
+
+#include <cstdint>
+#include <span>
+
+namespace ca {
+
+inline std::uint64_t Fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace ca
+
+#endif  // CA_COMMON_HASH_H_

@@ -27,6 +27,7 @@ enum class StatusCode : std::uint8_t {
   kUnavailable,
   kInternal,
   kIoError,
+  kDataLoss,
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -68,6 +69,7 @@ Status OutOfRangeError(std::string message);
 Status UnavailableError(std::string message);
 Status InternalError(std::string message);
 Status IoError(std::string message);
+Status DataLossError(std::string message);
 
 // Result<T>: either a value or a non-OK Status.
 template <typename T>

@@ -120,25 +120,46 @@ Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& stat
         info = store_.Access(session, WallNow());
       }
       if (info.has_value()) {
+        // Miss-equivalent degradation (DESIGN.md §10): the KV cache is soft
+        // state, so a fault anywhere on the load path — tier I/O failure,
+        // checksum mismatch, undeserializable payload — costs a recompute of
+        // the history, never the turn.
+        bool payload_ok = false;
         std::vector<std::uint8_t> payload;
         {
           MutexLock lock(mutex_);
           auto read = store_.ReadPayload(session);
-          if (!read.ok()) {
-            return read.status();
+          if (read.ok()) {
+            payload = std::move(*read);
+            payload_ok = true;
+          } else {
+            CA_LOG(Warn) << "session " << session
+                         << " KV load degraded to a miss: " << read.status();
           }
-          payload = std::move(*read);
         }
-        auto loaded = KvCache::Deserialize(model_->config(), payload);
-        if (!loaded.ok()) {
-          return loaded.status();
+        std::optional<KvCache> loaded_cache;
+        if (payload_ok) {
+          auto loaded = KvCache::Deserialize(model_->config(), payload);
+          if (loaded.ok()) {
+            loaded_cache = std::move(*loaded);
+          } else {
+            // The bytes came back checksum-clean but do not parse: a
+            // poisoned payload. Drop it so the miss is consistent.
+            CA_LOG(Warn) << "session " << session
+                         << " KV payload undeserializable, dropped: " << loaded.status();
+            MutexLock lock(mutex_);
+            store_.Remove(session);
+          }
         }
-        if (loaded->seq_len() != pre_drop_history) {
-          CA_LOG(Warn) << "session " << session << " cache holds " << loaded->seq_len()
+        if (!loaded_cache.has_value()) {
+          ++stats_.cache_load_faults;
+          recompute = true;
+        } else if (loaded_cache->seq_len() != pre_drop_history) {
+          CA_LOG(Warn) << "session " << session << " cache holds " << loaded_cache->seq_len()
                        << " tokens, history is " << pre_drop_history << "; recomputing";
           recompute = true;
         } else {
-          cache = std::move(*loaded);
+          cache = std::move(*loaded_cache);
           // KV cache truncation (valid for decoupled PE; deliberately
           // corrupting for the coupled-PE NKVT baseline).
           if (drop > 0) {

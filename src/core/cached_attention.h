@@ -90,6 +90,10 @@ struct EngineStats {
   std::uint64_t reused_tokens = 0;
   std::uint64_t truncations = 0;
   std::uint64_t compressed_tokens = 0;
+  // Store faults degraded to a recompute (DESIGN.md §10): a saved KV cache
+  // failed to load back (I/O error, corruption, poisoned payload) and the
+  // turn fell through to a full prefill instead of erroring out.
+  std::uint64_t cache_load_faults = 0;
   double prefill_seconds = 0.0;
 
   double reuse_fraction() const {

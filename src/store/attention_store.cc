@@ -4,8 +4,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "src/common/check.h"
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 
 namespace ca {
@@ -18,6 +21,22 @@ std::string UniqueDiskPath() {
   static std::atomic<std::uint64_t> counter{0};
   return "/tmp/ca_attention_store." + std::to_string(::getpid()) + "." +
          std::to_string(counter.fetch_add(1)) + ".blocks";
+}
+
+// Wraps a tier storage in the fault injector when the config asks for it.
+std::unique_ptr<BlockStorage> MaybeInjectFaults(std::unique_ptr<BlockStorage> storage,
+                                                const FaultConfig& fault) {
+  if (!fault.enabled()) {
+    return storage;
+  }
+  return std::make_unique<FaultInjectingBlockStorage>(std::move(storage), fault);
+}
+
+// True for error codes that mean the device (or the data on it) is broken,
+// as opposed to transiently busy or merely full.
+bool IsPermanentIoFailure(StatusCode code) {
+  return code == StatusCode::kIoError || code == StatusCode::kInternal ||
+         code == StatusCode::kDataLoss;
 }
 
 }  // namespace
@@ -36,6 +55,18 @@ std::string_view TierName(Tier tier) {
   return "?";
 }
 
+std::string_view TierHealthName(TierHealth health) {
+  switch (health) {
+    case TierHealth::kHealthy:
+      return "healthy";
+    case TierHealth::kDegraded:
+      return "degraded";
+    case TierHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "?";
+}
+
 AttentionStore::AttentionStore(StoreConfig config)
     : config_(std::move(config)), policy_(MakeEvictionPolicy(config_.eviction_policy)) {
   CA_CHECK_GT(config_.block_bytes, 0ULL);
@@ -44,16 +75,29 @@ AttentionStore::AttentionStore(StoreConfig config)
   }
   if (config_.real_payloads) {
     if (config_.hbm_capacity > 0) {
-      storages_[static_cast<std::size_t>(Tier::kHbm)] =
-          std::make_unique<MemoryBlockStorage>(config_.hbm_capacity, config_.block_bytes);
+      storages_[static_cast<std::size_t>(Tier::kHbm)] = MaybeInjectFaults(
+          std::make_unique<MemoryBlockStorage>(config_.hbm_capacity, config_.block_bytes),
+          config_.hbm_fault);
     }
     if (config_.dram_capacity > 0) {
-      storages_[static_cast<std::size_t>(Tier::kDram)] =
-          std::make_unique<MemoryBlockStorage>(config_.dram_capacity, config_.block_bytes);
+      storages_[static_cast<std::size_t>(Tier::kDram)] = MaybeInjectFaults(
+          std::make_unique<MemoryBlockStorage>(config_.dram_capacity, config_.block_bytes),
+          config_.dram_fault);
     }
     if (config_.disk_capacity > 0) {
-      storages_[static_cast<std::size_t>(Tier::kDisk)] = std::make_unique<FileBlockStorage>(
-          config_.disk_path, config_.disk_capacity, config_.block_bytes);
+      auto disk =
+          FileBlockStorage::Open(config_.disk_path, config_.disk_capacity, config_.block_bytes);
+      if (disk.ok()) {
+        storages_[static_cast<std::size_t>(Tier::kDisk)] =
+            MaybeInjectFaults(std::move(*disk), config_.disk_fault);
+      } else {
+        // The KV cache is soft state: a store without its disk tier serves
+        // fewer hits, it does not crash the serving process.
+        CA_LOG(Error) << "disk tier disabled, serving from remaining tiers only: "
+                      << disk.status();
+        tier_health_[static_cast<std::size_t>(Tier::kDisk)].health = TierHealth::kQuarantined;
+        ++stats_.tiers_disabled;
+      }
     }
   }
 }
@@ -106,6 +150,13 @@ std::uint64_t AttentionStore::UsedBytes(Tier tier) const {
 
 std::uint64_t AttentionStore::FreeBytes(Tier tier) const {
   return CapacityBytes(tier) - UsedBytes(tier);
+}
+
+TierHealth AttentionStore::tier_health(Tier tier) const {
+  if (tier == Tier::kNone) {
+    return TierHealth::kHealthy;
+  }
+  return tier_health_[static_cast<std::size_t>(tier)].health;
 }
 
 BlockStorage* AttentionStore::Storage(Tier tier) {
@@ -170,6 +221,140 @@ void AttentionStore::MaybeAudit() const {
   }
 }
 
+// --- tier health machine ---------------------------------------------------
+
+void AttentionStore::RecordTierSuccess(Tier tier) {
+  auto& h = tier_health_[static_cast<std::size_t>(tier)];
+  if (h.health == TierHealth::kQuarantined) {
+    return;  // quarantine is sticky for the process lifetime
+  }
+  h.consecutive_permanent = 0;
+  if (h.health == TierHealth::kDegraded) {
+    CA_LOG(Info) << TierName(tier) << " tier recovered: degraded -> healthy";
+    h.health = TierHealth::kHealthy;
+  }
+}
+
+void AttentionStore::RecordTierFault(Tier tier, const Status& status) {
+  const bool permanent = IsPermanentIoFailure(status.code());
+  if (status.code() == StatusCode::kUnavailable) {
+    ++stats_.transient_io_faults;
+  } else if (permanent) {
+    ++stats_.permanent_io_faults;
+  } else {
+    return;  // e.g. kResourceExhausted: the pool is full, not broken
+  }
+  auto& h = tier_health_[static_cast<std::size_t>(tier)];
+  if (h.health == TierHealth::kQuarantined) {
+    return;
+  }
+  if (permanent) {
+    ++h.consecutive_permanent;
+    if (h.consecutive_permanent >= config_.quarantine_after) {
+      MarkQuarantined(tier, status);
+      return;
+    }
+  }
+  if (h.health != TierHealth::kDegraded) {
+    CA_LOG(Warn) << TierName(tier) << " tier degraded: " << status;
+    h.health = TierHealth::kDegraded;
+  }
+}
+
+void AttentionStore::MarkQuarantined(Tier tier, const Status& cause) {
+  auto& h = tier_health_[static_cast<std::size_t>(tier)];
+  if (h.health == TierHealth::kQuarantined) {
+    return;
+  }
+  CA_LOG(Warn) << TierName(tier) << " tier quarantined after " << h.consecutive_permanent
+               << " consecutive permanent I/O failures: " << cause;
+  h.health = TierHealth::kQuarantined;
+  ++stats_.tiers_quarantined;
+  // Record-dropping is deferred: callers may hold references into records_
+  // mid-mutation. PurgeQuarantined() runs before the mutation's audit.
+  quarantine_pending_ = true;
+}
+
+void AttentionStore::PurgeQuarantined() {
+  if (!quarantine_pending_) {
+    return;
+  }
+  quarantine_pending_ = false;
+  for (const Tier tier : {Tier::kHbm, Tier::kDram, Tier::kDisk}) {
+    if (tier_health_[static_cast<std::size_t>(tier)].health != TierHealth::kQuarantined) {
+      continue;
+    }
+    for (const SessionId id : SessionsInTier(tier)) {
+      KvRecord& r = records_.at(id);
+      (void)MoveRecord(r, Tier::kNone);  // allocator-only free: safe on a dead device
+      records_.erase(id);
+      ++stats_.fault_evictions;
+    }
+  }
+}
+
+// --- retrying tier I/O -----------------------------------------------------
+
+Result<BlockExtent> AttentionStore::WriteWithRetry(BlockStorage& storage,
+                                                   std::span<const std::uint8_t> bytes,
+                                                   Tier tier) {
+  std::uint64_t backoff_us = config_.io_retry_backoff_us;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    auto extent = storage.Write(bytes);
+    if (extent.ok()) {
+      RecordTierSuccess(tier);
+      return extent;
+    }
+    if (extent.status().code() == StatusCode::kUnavailable && attempt < config_.io_retries) {
+      ++stats_.io_retries;
+      if (backoff_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        backoff_us *= 2;
+      }
+      continue;
+    }
+    RecordTierFault(tier, extent.status());
+    return extent;
+  }
+}
+
+Result<std::vector<std::uint8_t>> AttentionStore::ReadVerified(BlockStorage& storage,
+                                                               const KvRecord& record,
+                                                               Tier tier) {
+  std::uint64_t backoff_us = config_.io_retry_backoff_us;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    auto data = storage.Read(record.extent);
+    if (data.ok()) {
+      if (Fnv1a64(*data) == record.checksum) {
+        RecordTierSuccess(tier);
+        return data;
+      }
+      // Corrupt bytes read back "successfully": a torn write or short read.
+      // Retrying cannot help (the damage is persistent or the next read is
+      // equally suspect); the payload must never reach attention.
+      ++stats_.corrupt_payloads;
+      const Status corrupt =
+          DataLossError("session " + std::to_string(record.session) +
+                        " payload failed checksum verification in " +
+                        std::string(TierName(tier)));
+      RecordTierFault(tier, corrupt);
+      return corrupt;
+    }
+    if (data.status().code() == StatusCode::kUnavailable && attempt < config_.io_retries) {
+      ++stats_.io_retries;
+      if (backoff_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        backoff_us *= 2;
+      }
+      continue;
+    }
+    RecordTierFault(tier, data.status());
+    return data.status();
+  }
+}
+
+// --- lookup ----------------------------------------------------------------
+
 Tier AttentionStore::Lookup(SessionId session) const {
   const auto it = records_.find(session);
   return it == records_.end() ? Tier::kNone : it->second.tier;
@@ -230,10 +415,11 @@ std::optional<SessionId> AttentionStore::PickVictim(Tier tier, SessionId exclude
   return policy_->PickVictim(candidates, hints);
 }
 
-void AttentionStore::MoveRecord(KvRecord& record, Tier target) {
+Status AttentionStore::MoveRecord(KvRecord& record, Tier target) {
   const Tier source = record.tier;
   CA_CHECK(source != target);
-  // Move payload bytes first (real mode).
+  // Move payload bytes first (real mode); accounting follows only once the
+  // bytes are safely at the target, so a failure rolls back completely.
   if (config_.real_payloads && !record.extent.empty()) {
     BlockStorage* src_storage = Storage(source);
     CA_CHECK(src_storage != nullptr);
@@ -242,10 +428,22 @@ void AttentionStore::MoveRecord(KvRecord& record, Tier target) {
     } else {
       BlockStorage* dst_storage = Storage(target);
       CA_CHECK(dst_storage != nullptr);
-      auto data = src_storage->Read(record.extent);
-      CA_CHECK(data.ok()) << data.status();
-      auto new_extent = dst_storage->Write(*data);
-      CA_CHECK(new_extent.ok()) << new_extent.status();
+      auto data = ReadVerified(*src_storage, record, source);
+      if (!data.ok()) {
+        if (data.status().code() == StatusCode::kUnavailable) {
+          return data.status();  // transient: record untouched, retryable later
+        }
+        // Source payload unrecoverable: release the record (see contract in
+        // the header) — the caller erases the map entry.
+        src_storage->Free(record.extent);
+        used_bytes_[static_cast<std::size_t>(source)] -= record.block_bytes;
+        record.tier = Tier::kNone;
+        return data.status();
+      }
+      auto new_extent = WriteWithRetry(*dst_storage, *data, target);
+      if (!new_extent.ok()) {
+        return new_extent.status();  // nothing mutated: full rollback
+      }
       src_storage->Free(record.extent);
       record.extent = std::move(*new_extent);
     }
@@ -257,6 +455,7 @@ void AttentionStore::MoveRecord(KvRecord& record, Tier target) {
     used_bytes_[static_cast<std::size_t>(target)] += record.block_bytes;
   }
   record.tier = target;
+  return Status::Ok();
 }
 
 bool AttentionStore::EnsureRoom(Tier tier, std::uint64_t needed, SessionId exclude, SimTime now,
@@ -271,14 +470,30 @@ bool AttentionStore::EnsureRoom(Tier tier, std::uint64_t needed, SessionId exclu
     }
     KvRecord& r = records_.at(*victim);
     const Tier down = NextSlowerTier(tier);
+    bool demoted = false;
+    bool move_failed = false;
     if (down != Tier::kNone && EnsureRoom(down, r.block_bytes, exclude, now, hints)) {
-      MoveRecord(r, down);
-      ++stats_.demotions;
-      stats_.bytes_demoted += r.bytes;
-    } else {
-      // Nowhere below: evict out of the system.
-      MoveRecord(r, Tier::kNone);
-      ++stats_.evictions_out;
+      const Status moved = MoveRecord(r, down);
+      if (moved.ok()) {
+        demoted = true;
+        ++stats_.demotions;
+        stats_.bytes_demoted += r.bytes;
+      } else {
+        ++stats_.failed_moves;
+        move_failed = true;
+      }
+    }
+    if (!demoted) {
+      // Nowhere below, or the demotion I/O failed. Room must still be made,
+      // so the victim leaves the system — soft state, the cost is a miss.
+      if (r.tier != Tier::kNone) {  // a DataLoss move already released it
+        (void)MoveRecord(r, Tier::kNone);
+      }
+      if (move_failed) {
+        ++stats_.fault_evictions;
+      } else {
+        ++stats_.evictions_out;
+      }
       records_.erase(*victim);
     }
   }
@@ -304,16 +519,25 @@ Status AttentionStore::Put(SessionId session, std::uint64_t bytes, std::uint64_t
   std::uint64_t insert_seq = next_insert_seq_;
   if (existed) {
     insert_seq = it->second.insert_seq;
-    MoveRecord(it->second, Tier::kNone);
+    (void)MoveRecord(it->second, Tier::kNone);
     records_.erase(it);
   } else {
     ++next_insert_seq_;
   }
 
   const std::uint64_t block_bytes = RoundToBlocks(bytes);
-  const auto tiers = EnabledTiers();
-  for (const Tier tier : tiers) {
+  Status failure = ResourceExhaustedError("KV cache of session " + std::to_string(session) +
+                                          " fits in no tier");
+  for (const Tier tier : EnabledTiers()) {
+    // A tier picked up-front can be quarantined by I/O failures while this
+    // very Put makes room or tries a faster tier; re-check before using it.
+    if (!TierEnabled(tier)) {
+      continue;
+    }
     if (!EnsureRoom(tier, block_bytes, session, now, hints)) {
+      continue;
+    }
+    if (!TierEnabled(tier)) {
       continue;
     }
     KvRecord record{.session = session,
@@ -323,11 +547,19 @@ Status AttentionStore::Put(SessionId session, std::uint64_t bytes, std::uint64_t
                     .token_count = token_count,
                     .last_access = now,
                     .insert_seq = insert_seq,
-                    .extent = {}};
+                    .extent = {},
+                    .checksum = 0};
     if (config_.real_payloads) {
-      auto extent = Storage(tier)->Write(payload);
-      CA_CHECK(extent.ok()) << extent.status();
+      auto extent = WriteWithRetry(*Storage(tier), payload, tier);
+      if (!extent.ok()) {
+        // A failed save is a future miss, never an abort: degrade to the
+        // next slower tier (or drop the record entirely below).
+        ++stats_.failed_puts;
+        failure = extent.status();
+        continue;
+      }
       record.extent = std::move(*extent);
+      record.checksum = Fnv1a64(payload);
     }
     used_bytes_[static_cast<std::size_t>(tier)] += block_bytes;
     record.tier = tier;
@@ -337,12 +569,13 @@ Status AttentionStore::Put(SessionId session, std::uint64_t bytes, std::uint64_t
     } else {
       ++stats_.inserts;
     }
+    PurgeQuarantined();
     MaybeAudit();
     return Status::Ok();
   }
+  PurgeQuarantined();
   MaybeAudit();
-  return ResourceExhaustedError("KV cache of session " + std::to_string(session) +
-                                " fits in no tier");
+  return failure;
 }
 
 Result<std::vector<std::uint8_t>> AttentionStore::ReadPayload(SessionId session) {
@@ -351,9 +584,25 @@ Result<std::vector<std::uint8_t>> AttentionStore::ReadPayload(SessionId session)
   if (it == records_.end()) {
     return NotFoundError("session " + std::to_string(session));
   }
-  BlockStorage* storage = Storage(it->second.tier);
+  KvRecord& r = it->second;
+  BlockStorage* storage = Storage(r.tier);
   CA_CHECK(storage != nullptr);
-  return storage->Read(it->second.extent);
+  auto data = ReadVerified(*storage, r, r.tier);
+  if (data.ok()) {
+    return data;
+  }
+  ++stats_.failed_reads;
+  const Status failure = data.status();
+  if (failure.code() != StatusCode::kUnavailable) {
+    // Permanent failure or corruption: the payload is untrustworthy. Drop
+    // the record so this miss is consistent on every subsequent lookup.
+    (void)MoveRecord(r, Tier::kNone);
+    records_.erase(it);
+    ++stats_.fault_evictions;
+  }
+  PurgeQuarantined();
+  MaybeAudit();
+  return failure;
 }
 
 Status AttentionStore::Promote(SessionId session, SimTime now, const SchedulerHints& hints) {
@@ -369,12 +618,24 @@ Status AttentionStore::Promote(SessionId session, SimTime now, const SchedulerHi
     return FailedPreconditionError("DRAM tier disabled");
   }
   if (!EnsureRoom(Tier::kDram, r.block_bytes, session, now, hints)) {
+    PurgeQuarantined();
     MaybeAudit();
     return ResourceExhaustedError("no DRAM room to promote session " + std::to_string(session));
   }
-  MoveRecord(r, Tier::kDram);
+  const Status moved = MoveRecord(r, Tier::kDram);
+  if (!moved.ok()) {
+    ++stats_.failed_moves;
+    if (r.tier == Tier::kNone) {  // source payload unrecoverable: record released
+      records_.erase(it);
+      ++stats_.fault_evictions;
+    }
+    PurgeQuarantined();
+    MaybeAudit();
+    return moved;
+  }
   ++stats_.promotions;
   stats_.bytes_promoted += r.bytes;
+  PurgeQuarantined();
   MaybeAudit();
   return Status::Ok();
 }
@@ -390,12 +651,24 @@ Status AttentionStore::Demote(SessionId session, SimTime now, const SchedulerHin
     return FailedPreconditionError("no slower tier");
   }
   if (!EnsureRoom(down, r.block_bytes, session, now, hints)) {
+    PurgeQuarantined();
     MaybeAudit();
     return ResourceExhaustedError("no room below");
   }
-  MoveRecord(r, down);
+  const Status moved = MoveRecord(r, down);
+  if (!moved.ok()) {
+    ++stats_.failed_moves;
+    if (r.tier == Tier::kNone) {  // source payload unrecoverable: record released
+      records_.erase(it);
+      ++stats_.fault_evictions;
+    }
+    PurgeQuarantined();
+    MaybeAudit();
+    return moved;
+  }
   ++stats_.demotions;
   stats_.bytes_demoted += r.bytes;
+  PurgeQuarantined();
   MaybeAudit();
   return Status::Ok();
 }
@@ -412,18 +685,34 @@ std::size_t AttentionStore::MaintainDramBuffer(SimTime now, const SchedulerHints
     }
     KvRecord& r = records_.at(*victim);
     const Tier down = NextSlowerTier(Tier::kDram);
+    bool moved_down = false;
+    bool move_failed = false;
     if (down != Tier::kNone && EnsureRoom(down, r.block_bytes, kInvalidSession, now, hints)) {
-      MoveRecord(r, down);
-      ++stats_.demotions;
-      stats_.bytes_demoted += r.bytes;
-    } else {
-      MoveRecord(r, Tier::kNone);
-      ++stats_.evictions_out;
+      const Status moved = MoveRecord(r, down);
+      if (moved.ok()) {
+        moved_down = true;
+        ++stats_.demotions;
+        stats_.bytes_demoted += r.bytes;
+      } else {
+        ++stats_.failed_moves;
+        move_failed = true;
+      }
+    }
+    if (!moved_down) {
+      if (r.tier != Tier::kNone) {  // a DataLoss move already released it
+        (void)MoveRecord(r, Tier::kNone);
+      }
+      if (move_failed) {
+        ++stats_.fault_evictions;
+      } else {
+        ++stats_.evictions_out;
+      }
       records_.erase(*victim);
     }
     ++demoted;
   }
-  if (config_.audit) {
+  PurgeQuarantined();
+  if (config_.audit && TierEnabled(Tier::kDram)) {
     // §3.3.1 postcondition: the free-space buffer is restored unless DRAM
     // holds nothing left to demote.
     CA_CHECK(FreeBytes(Tier::kDram) >= config_.dram_buffer ||
@@ -439,7 +728,7 @@ void AttentionStore::Remove(SessionId session) {
   if (it == records_.end()) {
     return;
   }
-  MoveRecord(it->second, Tier::kNone);
+  (void)MoveRecord(it->second, Tier::kNone);
   records_.erase(it);
   MaybeAudit();
 }
@@ -456,7 +745,7 @@ std::size_t AttentionStore::ExpireTtl(SimTime now) {
   }
   for (const SessionId id : expired) {
     KvRecord& r = records_.at(id);
-    MoveRecord(r, Tier::kNone);
+    (void)MoveRecord(r, Tier::kNone);
     records_.erase(id);
   }
   stats_.ttl_expirations += expired.size();

@@ -29,6 +29,7 @@
 #include "src/common/units.h"
 #include "src/store/block_storage.h"
 #include "src/store/eviction_policy.h"
+#include "src/store/fault_injection.h"
 #include "src/store/types.h"
 
 namespace ca {
@@ -68,6 +69,25 @@ struct StoreConfig {
   // corrupting cached attention states silently. Meant for tests and
   // debugging; each audit is O(records).
   bool audit = false;
+
+  // --- fault tolerance (DESIGN.md §10) --------------------------------
+
+  // Bounded retry for transient (kUnavailable) tier I/O errors. Each failed
+  // attempt sleeps io_retry_backoff_us, doubling per retry; permanent
+  // errors (kIoError/kInternal/kDataLoss) are never retried.
+  std::uint32_t io_retries = 3;
+  std::uint64_t io_retry_backoff_us = 50;
+
+  // Consecutive *permanent* I/O failures after which a tier is quarantined:
+  // it leaves placement, its records are dropped (future misses), and the
+  // store keeps serving from the remaining tiers.
+  std::uint32_t quarantine_after = 3;
+
+  // Per-tier fault injection (tests and the store hammer). Only meaningful
+  // with real_payloads; an all-zero config injects nothing.
+  FaultConfig hbm_fault;
+  FaultConfig dram_fault;
+  FaultConfig disk_fault;
 };
 
 // Public view of one record.
@@ -111,7 +131,11 @@ class AttentionStore {
   Status Put(SessionId session, std::uint64_t bytes, std::uint64_t token_count,
              std::span<const std::uint8_t> payload, SimTime now, const SchedulerHints& hints);
 
-  // Reads a record's payload (real-payload mode only).
+  // Reads a record's payload (real-payload mode only), verifying its
+  // checksum. Any failure is miss-equivalent for the caller: transient
+  // exhaustion (kUnavailable) keeps the record for a later retry, while a
+  // permanent error or checksum mismatch drops it so the miss is consistent
+  // on every subsequent lookup.
   Result<std::vector<std::uint8_t>> ReadPayload(SessionId session);
 
   // --- Placement management ---------------------------------------------
@@ -141,6 +165,7 @@ class AttentionStore {
   std::uint64_t CapacityBytes(Tier tier) const;
   std::size_t RecordCount() const { return records_.size(); }
   std::vector<SessionId> SessionsInTier(Tier tier) const;
+  TierHealth tier_health(Tier tier) const;
 
   // Audits the store's internal consistency, aborting (CA_CHECK) on the
   // first violation. Checked invariants:
@@ -171,9 +196,18 @@ class AttentionStore {
     SimTime last_access = 0;
     std::uint64_t insert_seq = 0;
     BlockExtent extent;              // valid iff real payloads attached
+    std::uint64_t checksum = 0;      // FNV-1a of the payload (real mode)
   };
 
-  bool TierEnabled(Tier tier) const { return CapacityBytes(tier) > 0; }
+  struct TierHealthState {
+    TierHealth health = TierHealth::kHealthy;
+    std::uint32_t consecutive_permanent = 0;
+  };
+
+  bool TierEnabled(Tier tier) const {
+    return CapacityBytes(tier) > 0 &&
+           tier_health_[static_cast<std::size_t>(tier)].health != TierHealth::kQuarantined;
+  }
   // Fastest enabled tier, in HBM→DRAM→disk order.
   std::vector<Tier> EnabledTiers() const;
   Tier NextSlowerTier(Tier tier) const;
@@ -186,8 +220,37 @@ class AttentionStore {
                   const SchedulerHints& hints);
 
   // Moves `record` to `target` tier (payloads copied if attached). `target`
-  // may be kNone, meaning eviction out of the system.
-  void MoveRecord(KvRecord& record, Tier target);
+  // may be kNone, meaning eviction out of the system (never fails).
+  //
+  // Transactional: on failure the record, its extent and all accounting are
+  // unchanged — with ONE exception: when the source payload itself is
+  // unrecoverable (permanent read failure or checksum mismatch), the record
+  // is released to kNone (extent freed, accounting settled) and the caller
+  // MUST erase the map entry. Callers detect that case by `record.tier ==
+  // Tier::kNone` after a non-OK return.
+  Status MoveRecord(KvRecord& record, Tier target);
+
+  // Reads `record`'s payload from `storage` with bounded transient-retry
+  // and checksum verification; updates tier health and fault stats.
+  Result<std::vector<std::uint8_t>> ReadVerified(BlockStorage& storage, const KvRecord& record,
+                                                 Tier tier);
+
+  // Writes `bytes` to `storage` with bounded transient-retry; updates tier
+  // health and fault stats.
+  Result<BlockExtent> WriteWithRetry(BlockStorage& storage,
+                                     std::span<const std::uint8_t> bytes, Tier tier);
+
+  // Health-machine hooks: a clean op heals a degraded tier; a fault degrades
+  // it and — after config.quarantine_after consecutive permanent faults —
+  // marks it quarantined. Record-dropping is deferred to PurgeQuarantined()
+  // so callers holding record references stay valid mid-mutation.
+  void RecordTierSuccess(Tier tier);
+  void RecordTierFault(Tier tier, const Status& status);
+  void MarkQuarantined(Tier tier, const Status& cause);
+
+  // Drops every record resident in a quarantined tier (allocator-only
+  // frees; safe on a dead device). Runs before each mutation's MaybeAudit.
+  void PurgeQuarantined();
 
   std::optional<SessionId> PickVictim(Tier tier, SessionId exclude, const SchedulerHints& hints);
 
@@ -205,6 +268,8 @@ class AttentionStore {
   std::unordered_map<SessionId, KvRecord> records_;
   std::array<std::uint64_t, kNumTiers> used_bytes_ = {0, 0, 0};
   std::array<std::unique_ptr<BlockStorage>, kNumTiers> storages_;  // null w/o payloads
+  std::array<TierHealthState, kNumTiers> tier_health_ = {};
+  bool quarantine_pending_ = false;  // set by MarkQuarantined, cleared by PurgeQuarantined
   std::uint64_t next_insert_seq_ = 0;
   StoreStats stats_;
 };

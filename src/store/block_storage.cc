@@ -11,7 +11,7 @@
 
 namespace ca {
 
-Result<BlockExtent> BlockStorage::Write(std::span<const std::uint8_t> bytes) {
+Result<BlockExtent> PooledBlockStorage::Write(std::span<const std::uint8_t> bytes) {
   MutexLock lock(mutex_);
   const std::uint64_t n_blocks = allocator_.BlocksFor(bytes.size());
   CA_ASSIGN_OR_RETURN(std::vector<BlockId> blocks, allocator_.Allocate(n_blocks));
@@ -29,8 +29,22 @@ Result<BlockExtent> BlockStorage::Write(std::span<const std::uint8_t> bytes) {
   return BlockExtent{.blocks = std::move(blocks), .byte_length = bytes.size()};
 }
 
-Result<std::vector<std::uint8_t>> BlockStorage::Read(const BlockExtent& extent) {
+Result<std::vector<std::uint8_t>> PooledBlockStorage::Read(const BlockExtent& extent) {
   MutexLock lock(mutex_);
+  // A corrupted record can hand us an extent whose shape no longer matches
+  // its byte length; that must surface as a handleable error (the store
+  // degrades it to a miss), never as an abort or an out-of-bounds block read.
+  if (allocator_.BlocksFor(extent.byte_length) != extent.blocks.size()) {
+    return InternalError("malformed extent: " + std::to_string(extent.blocks.size()) +
+                         " blocks cannot hold " + std::to_string(extent.byte_length) + " bytes");
+  }
+  for (const BlockId block : extent.blocks) {
+    if (block >= allocator_.total_blocks()) {
+      return InternalError("malformed extent: block " + std::to_string(block) +
+                           " out of range (pool has " +
+                           std::to_string(allocator_.total_blocks()) + ")");
+    }
+  }
   std::vector<std::uint8_t> out(extent.byte_length);
   const std::uint64_t block_bytes = allocator_.block_bytes();
   std::uint64_t off = 0;
@@ -39,29 +53,32 @@ Result<std::vector<std::uint8_t>> BlockStorage::Read(const BlockExtent& extent) 
     CA_RETURN_IF_ERROR(ReadBlock(block, std::span<std::uint8_t>(out).subspan(off, chunk)));
     off += chunk;
   }
-  CA_CHECK_EQ(off, extent.byte_length);
+  if (off != extent.byte_length) {
+    return InternalError("malformed extent: read " + std::to_string(off) + " of " +
+                         std::to_string(extent.byte_length) + " bytes");
+  }
   return out;
 }
 
-void BlockStorage::Free(BlockExtent& extent) {
+void PooledBlockStorage::Free(BlockExtent& extent) {
   MutexLock lock(mutex_);
   allocator_.Free(extent.blocks);
   extent.blocks.clear();
   extent.byte_length = 0;
 }
 
-std::uint64_t BlockStorage::UsedBlocks() const {
+std::uint64_t PooledBlockStorage::UsedBlocks() const {
   MutexLock lock(mutex_);
   return allocator_.used_blocks();
 }
 
-std::uint64_t BlockStorage::block_bytes() const {
+std::uint64_t PooledBlockStorage::block_bytes() const {
   MutexLock lock(mutex_);
   return allocator_.block_bytes();
 }
 
 MemoryBlockStorage::MemoryBlockStorage(std::uint64_t capacity_bytes, std::uint64_t block_bytes)
-    : BlockStorage(capacity_bytes, block_bytes) {
+    : PooledBlockStorage(capacity_bytes, block_bytes) {
   arena_.resize(allocator_.capacity_bytes());
 }
 
@@ -80,12 +97,20 @@ Status MemoryBlockStorage::ReadBlock(BlockId block, std::span<std::uint8_t> out)
   return Status::Ok();
 }
 
-FileBlockStorage::FileBlockStorage(std::string path, std::uint64_t capacity_bytes,
-                                   std::uint64_t block_bytes)
-    : BlockStorage(capacity_bytes, block_bytes), path_(std::move(path)) {
-  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
-  CA_CHECK_GE(fd_, 0) << "cannot open " << path_ << ": " << std::strerror(errno);
+Result<std::unique_ptr<FileBlockStorage>> FileBlockStorage::Open(std::string path,
+                                                                 std::uint64_t capacity_bytes,
+                                                                 std::uint64_t block_bytes) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return IoError("cannot open " + path + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<FileBlockStorage>(
+      new FileBlockStorage(std::move(path), fd, capacity_bytes, block_bytes));  // NOLINT: private ctor
 }
+
+FileBlockStorage::FileBlockStorage(std::string path, int fd, std::uint64_t capacity_bytes,
+                                   std::uint64_t block_bytes)
+    : PooledBlockStorage(capacity_bytes, block_bytes), path_(std::move(path)), fd_(fd) {}
 
 FileBlockStorage::~FileBlockStorage() {
   if (fd_ >= 0) {

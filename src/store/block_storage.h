@@ -1,14 +1,27 @@
 // Block-granular payload storage for one tier.
 //
-// A BlockStorage writes a record's bytes across fixed-size blocks and reads
-// them back given the block list. Two implementations:
+// BlockStorage is the abstract interface AttentionStore drives: write a
+// record's bytes across fixed-size blocks, read them back given the block
+// list, free the blocks. Implementations:
+//  * PooledBlockStorage — the common allocator-backed base; block I/O is a
+//    pair of protected hooks.
 //  * MemoryBlockStorage — heap arena (the DRAM / HBM tiers).
 //  * FileBlockStorage — one backing file with pread/pwrite at block offsets
-//    (the disk tier of the real-execution path). The backing file is
-//    unlinked in the destructor.
+//    (the disk tier of the real-execution path). Opened through a fallible
+//    factory (a missing backing file disables the tier, it never aborts the
+//    process); the file is unlinked in the destructor.
+//  * FaultInjectingBlockStorage (fault_injection.h) — decorator that injects
+//    deterministic I/O faults for tests and the store hammer.
 //
 // The simulator never attaches payload storage (capacity accounting only);
 // the real-execution engine always does.
+//
+// Failure contract: Write/Read return Status for everything a caller can
+// degrade gracefully — device errors (kIoError), transient unavailability
+// (kUnavailable), malformed extents from corrupted metadata (kInternal) and
+// pool exhaustion (kResourceExhausted). The KV cache is soft state, so
+// AttentionStore turns any of these into a cache miss (DESIGN.md §10);
+// aborting is reserved for in-process invariant violations.
 //
 // Thread safety: Write/Read/Free/UsedBlocks are individually thread-safe
 // (one internal mutex serializes the allocator and the block I/O), so the
@@ -42,27 +55,43 @@ struct BlockExtent {
 
 class BlockStorage {
  public:
-  explicit BlockStorage(std::uint64_t capacity_bytes, std::uint64_t block_bytes)
-      : allocator_(capacity_bytes, block_bytes) {}
+  BlockStorage() = default;
   virtual ~BlockStorage() = default;
 
   BlockStorage(const BlockStorage&) = delete;
   BlockStorage& operator=(const BlockStorage&) = delete;
 
   // Allocates blocks and writes `bytes` into them.
-  Result<BlockExtent> Write(std::span<const std::uint8_t> bytes) CA_EXCLUDES(mutex_);
+  virtual Result<BlockExtent> Write(std::span<const std::uint8_t> bytes) = 0;
 
-  // Reads a record back.
-  Result<std::vector<std::uint8_t>> Read(const BlockExtent& extent) CA_EXCLUDES(mutex_);
+  // Reads a record back. A malformed extent (block count inconsistent with
+  // byte_length, or out-of-range block ids) yields kInternal, not an abort:
+  // corrupted record metadata must be handleable as a miss.
+  virtual Result<std::vector<std::uint8_t>> Read(const BlockExtent& extent) = 0;
 
-  // Releases a record's blocks.
-  void Free(BlockExtent& extent) CA_EXCLUDES(mutex_);
+  // Releases a record's blocks. Pure metadata: never touches the device, so
+  // it stays safe on a failed tier.
+  virtual void Free(BlockExtent& extent) = 0;
 
   // Currently allocated block count (the invariant auditor cross-checks
   // this against the live records' extents).
-  std::uint64_t UsedBlocks() const CA_EXCLUDES(mutex_);
+  virtual std::uint64_t UsedBlocks() const = 0;
 
-  std::uint64_t block_bytes() const CA_EXCLUDES(mutex_);
+  virtual std::uint64_t block_bytes() const = 0;
+};
+
+// Allocator-backed storage base: owns the block pool and serializes all
+// operations behind one mutex; concrete backends supply the block I/O.
+class PooledBlockStorage : public BlockStorage {
+ public:
+  PooledBlockStorage(std::uint64_t capacity_bytes, std::uint64_t block_bytes)
+      : allocator_(capacity_bytes, block_bytes) {}
+
+  Result<BlockExtent> Write(std::span<const std::uint8_t> bytes) override CA_EXCLUDES(mutex_);
+  Result<std::vector<std::uint8_t>> Read(const BlockExtent& extent) override CA_EXCLUDES(mutex_);
+  void Free(BlockExtent& extent) override CA_EXCLUDES(mutex_);
+  std::uint64_t UsedBlocks() const override CA_EXCLUDES(mutex_);
+  std::uint64_t block_bytes() const override CA_EXCLUDES(mutex_);
 
  protected:
   // Block I/O hooks; invoked with mutex_ held.
@@ -74,7 +103,7 @@ class BlockStorage {
   BlockAllocator allocator_ CA_GUARDED_BY(mutex_);
 };
 
-class MemoryBlockStorage final : public BlockStorage {
+class MemoryBlockStorage final : public PooledBlockStorage {
  public:
   MemoryBlockStorage(std::uint64_t capacity_bytes, std::uint64_t block_bytes);
 
@@ -87,10 +116,13 @@ class MemoryBlockStorage final : public BlockStorage {
   std::vector<std::uint8_t> arena_ CA_GUARDED_BY(mutex_);
 };
 
-class FileBlockStorage final : public BlockStorage {
+class FileBlockStorage final : public PooledBlockStorage {
  public:
-  // Creates/truncates `path`. Aborts if the file cannot be opened.
-  FileBlockStorage(std::string path, std::uint64_t capacity_bytes, std::uint64_t block_bytes);
+  // Creates/truncates `path`. Fails with kIoError if the file cannot be
+  // opened — callers (AttentionStore) disable the tier instead of crashing.
+  static Result<std::unique_ptr<FileBlockStorage>> Open(std::string path,
+                                                        std::uint64_t capacity_bytes,
+                                                        std::uint64_t block_bytes);
   ~FileBlockStorage() override;
 
   const std::string& path() const { return path_; }
@@ -101,8 +133,11 @@ class FileBlockStorage final : public BlockStorage {
   Status ReadBlock(BlockId block, std::span<std::uint8_t> out) CA_REQUIRES(mutex_) override;
 
  private:
+  FileBlockStorage(std::string path, int fd, std::uint64_t capacity_bytes,
+                   std::uint64_t block_bytes);
+
   const std::string path_;  // immutable after construction
-  int fd_ = -1;             // immutable after construction
+  const int fd_;            // immutable after construction
 };
 
 }  // namespace ca

@@ -1,0 +1,104 @@
+#include "src/store/fault_injection.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace ca {
+
+FaultInjectingBlockStorage::FaultInjectingBlockStorage(std::unique_ptr<BlockStorage> inner,
+                                                       FaultConfig config)
+    : inner_(std::move(inner)), config_(config), rng_(config.seed) {
+  CA_CHECK(inner_ != nullptr);
+}
+
+FaultInjectingBlockStorage::Outcome FaultInjectingBlockStorage::NextOutcome(
+    bool is_read, std::uint64_t* corrupt_pos) {
+  MutexLock lock(mutex_);
+  std::uint64_t& ops = is_read ? stats_.reads : stats_.writes;
+  ++ops;
+  const std::uint64_t fail_after = is_read ? config_.fail_reads_after : config_.fail_writes_after;
+  // The rng is consumed in a fixed per-op order (permanent, transient,
+  // corrupt, position) regardless of which draw fires, so the fault stream
+  // of op N never depends on the outcomes of ops before it.
+  const bool permanent =
+      rng_.NextBool(is_read ? config_.read_permanent_p : config_.write_permanent_p);
+  const bool transient =
+      rng_.NextBool(is_read ? config_.read_transient_p : config_.write_transient_p);
+  const bool corrupt = rng_.NextBool(is_read ? config_.read_corrupt_p : config_.write_corrupt_p);
+  *corrupt_pos = rng_.NextU64();
+  if ((fail_after > 0 && ops >= fail_after) || permanent) {
+    ++stats_.permanent_faults;
+    return Outcome::kPermanent;
+  }
+  if (transient) {
+    ++stats_.transient_faults;
+    return Outcome::kTransient;
+  }
+  if (corrupt) {
+    ++stats_.corruptions;
+    return Outcome::kCorrupt;
+  }
+  return Outcome::kOk;
+}
+
+Result<BlockExtent> FaultInjectingBlockStorage::Write(std::span<const std::uint8_t> bytes) {
+  std::uint64_t corrupt_pos = 0;
+  switch (NextOutcome(/*is_read=*/false, &corrupt_pos)) {
+    case Outcome::kPermanent:
+      return IoError("injected permanent write fault");
+    case Outcome::kTransient:
+      return UnavailableError("injected transient write fault");
+    case Outcome::kCorrupt: {
+      if (bytes.empty()) {
+        return inner_->Write(bytes);
+      }
+      // Torn write: the device acknowledges the write but one byte lands
+      // damaged. Only a checksum on the read path can see this.
+      std::vector<std::uint8_t> torn(bytes.begin(), bytes.end());
+      torn[corrupt_pos % torn.size()] ^= 0xFF;
+      return inner_->Write(torn);
+    }
+    case Outcome::kOk:
+      break;
+  }
+  return inner_->Write(bytes);
+}
+
+Result<std::vector<std::uint8_t>> FaultInjectingBlockStorage::Read(const BlockExtent& extent) {
+  std::uint64_t corrupt_pos = 0;
+  switch (NextOutcome(/*is_read=*/true, &corrupt_pos)) {
+    case Outcome::kPermanent:
+      return IoError("injected permanent read fault");
+    case Outcome::kTransient:
+      return UnavailableError("injected transient read fault");
+    case Outcome::kCorrupt: {
+      auto data = inner_->Read(extent);
+      if (data.ok() && !data->empty()) {
+        // Short read: everything from the fault position on is lost. Flip
+        // the first lost byte too, so a zero-filled payload still differs.
+        const std::size_t from = corrupt_pos % data->size();
+        std::fill(data->begin() + static_cast<std::ptrdiff_t>(from), data->end(), 0);
+        (*data)[from] ^= 0xFF;
+      }
+      return data;
+    }
+    case Outcome::kOk:
+      break;
+  }
+  return inner_->Read(extent);
+}
+
+void FaultInjectingBlockStorage::Free(BlockExtent& extent) { inner_->Free(extent); }
+
+std::uint64_t FaultInjectingBlockStorage::UsedBlocks() const { return inner_->UsedBlocks(); }
+
+std::uint64_t FaultInjectingBlockStorage::block_bytes() const { return inner_->block_bytes(); }
+
+FaultInjectionStats FaultInjectingBlockStorage::fault_stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ca

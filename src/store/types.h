@@ -22,6 +22,16 @@ inline constexpr std::size_t kNumTiers = 3;
 
 std::string_view TierName(Tier tier);
 
+// Per-tier health (DESIGN.md §10). A tier degrades on any I/O fault and
+// recovers on the next clean operation; repeated *permanent* faults
+// quarantine it — the tier leaves placement for the rest of the process
+// lifetime and its records are dropped (each one a future miss, never an
+// error). A tier whose backing storage cannot even be created starts out
+// quarantined.
+enum class TierHealth : std::uint8_t { kHealthy = 0, kDegraded = 1, kQuarantined = 2 };
+
+std::string_view TierHealthName(TierHealth health);
+
 // Scheduler hints: for each session with a waiting job, the queue position
 // of its *next* use. Sessions absent from the map have no visible future
 // use (the scheduler-aware policies treat them as the best eviction
@@ -59,6 +69,22 @@ struct StoreStats {
 
   std::uint64_t bytes_demoted = 0;
   std::uint64_t bytes_promoted = 0;
+
+  // --- fault tolerance (DESIGN.md §10) ---------------------------------
+  // Every injected or real I/O fault must be visible here: degradation is
+  // only acceptable when it is observable.
+  std::uint64_t io_retries = 0;          // transient errors retried with backoff
+  std::uint64_t transient_io_faults = 0; // ops still failing after all retries
+  std::uint64_t permanent_io_faults = 0; // non-retryable I/O failures (incl. checksum)
+  std::uint64_t corrupt_payloads = 0;    // checksum mismatches detected on read
+  std::uint64_t failed_puts = 0;         // Put tier-writes that failed (per tier tried)
+  std::uint64_t failed_reads = 0;        // ReadPayload calls degraded to a miss
+  std::uint64_t failed_moves = 0;        // promotions/demotions that failed & rolled back
+  std::uint64_t fault_evictions = 0;     // records dropped because of faults
+  std::uint64_t tiers_quarantined = 0;   // health transitions into kQuarantined
+  std::uint64_t tiers_disabled = 0;      // tiers unusable from construction
+
+  std::uint64_t io_faults() const { return transient_io_faults + permanent_io_faults; }
 
   std::uint64_t hits() const { return hbm_hits + dram_hits + disk_hits; }
   double hit_rate() const {

@@ -208,10 +208,11 @@ TEST(BlockStorageThreadSafety, MemoryStorageParallelWriteReadFree) {
 }
 
 TEST(BlockStorageThreadSafety, FileStorageParallelWriteReadFree) {
-  FileBlockStorage storage(testing::TempDir() + "/ca_audit_hammer." +
-                               std::to_string(::getpid()) + ".blocks",
-                           KiB(64), KiB(4));
-  HammerStorage(storage);
+  auto storage = FileBlockStorage::Open(testing::TempDir() + "/ca_audit_hammer." +
+                                            std::to_string(::getpid()) + ".blocks",
+                                        KiB(64), KiB(4));
+  ASSERT_TRUE(storage.ok()) << storage.status();
+  HammerStorage(**storage);
 }
 
 }  // namespace

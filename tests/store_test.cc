@@ -6,6 +6,7 @@
 #include <numeric>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/store/attention_store.h"
 #include "src/store/block_allocator.h"
@@ -76,8 +77,10 @@ class BlockStorageTest : public ::testing::TestWithParam<bool> {
  protected:
   std::unique_ptr<BlockStorage> MakeStorage(std::uint64_t capacity, std::uint64_t block) {
     if (GetParam()) {
-      return std::make_unique<FileBlockStorage>(
-          testing::TempDir() + "/ca_store_test.blocks", capacity, block);
+      auto opened = FileBlockStorage::Open(testing::TempDir() + "/ca_store_test.blocks",
+                                           capacity, block);
+      CA_CHECK(opened.ok()) << opened.status();
+      return std::move(*opened);
     }
     return std::make_unique<MemoryBlockStorage>(capacity, block);
   }

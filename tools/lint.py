@@ -16,6 +16,11 @@ into CTest as the `lint` test. Rules (see tools/README.md for rationale):
                  CMakeLists.txt (an unlisted file silently never builds)
   no-assert      no assert() in src/ — CA_CHECK stays on in release builds,
                  where silent cache corruption would otherwise go unnoticed
+  check-on-status  no CA_CHECK / CA_CHECK_OK on a Status or Result in
+                 src/store and src/core: tier I/O failures must degrade to a
+                 cache miss (return the Status), never abort the serving
+                 process (DESIGN.md §10). CA_CHECK on non-Status invariants
+                 is unaffected.
 
 A line containing `NOLINT` is exempt from content rules (used for the one
 deliberate leaky-singleton allocation).
@@ -121,6 +126,9 @@ def check_content_rules(rel: pathlib.PurePath, text: str) -> List[Violation]:
     code = strip_comments_and_strings(text)
     code_lines = code.splitlines()
     is_logging = rel.parts[-1].startswith("logging.")
+    # I/O-path layers where an aborting check on a fallible operation would
+    # turn a recoverable fault into a crash (DESIGN.md §10).
+    is_io_path = rel.parts[:2] in (("src", "store"), ("src", "core"))
 
     for idx, code_line in enumerate(code_lines):
         raw = raw_lines[idx] if idx < len(raw_lines) else ""
@@ -141,6 +149,18 @@ def check_content_rules(rel: pathlib.PurePath, text: str) -> List[Violation]:
             violations.append(
                 Violation(str(rel), lineno, "no-assert",
                           "use CA_CHECK (stays on in release) instead of assert")
+            )
+        if is_io_path and (
+            re.search(r"\bCA_CHECK_OK\s*\(", code_line)
+            or (
+                re.search(r"\bCA_CHECK(_\w+)?\s*\(", code_line)
+                and re.search(r"(\.|->)\s*(ok|status)\s*\(", code_line)
+            )
+        ):
+            violations.append(
+                Violation(str(rel), lineno, "check-on-status",
+                          "I/O failures must degrade to a miss (return the "
+                          "Status), not abort; see DESIGN.md §10")
             )
     return violations
 

@@ -92,6 +92,34 @@ class LintTest(unittest.TestCase):
         self.write("orphan.cc", "namespace ca {}\n")
         self.assertIn("cmake-listed", self.rules())
 
+    def test_check_on_status_fails_in_store(self):
+        self.write("widget.cc", "void F() { CA_CHECK(extent.ok()); }\n")
+        self.assertIn("check-on-status", self.rules())
+
+    def test_check_ok_fails_in_store(self):
+        self.write("widget.cc", "void F() { CA_CHECK_OK(store.Put(1)); }\n")
+        self.assertIn("check-on-status", self.rules())
+
+    def test_check_on_status_fires_on_status_accessor(self):
+        self.write("widget.cc", "void F() { CA_CHECK_EQ(r.status().code(), code); }\n")
+        self.assertIn("check-on-status", self.rules())
+
+    def test_check_on_plain_invariant_ok(self):
+        self.write("widget.cc", "void F() { CA_CHECK(ptr != nullptr); }\n")
+        self.assertNotIn("check-on-status", self.rules())
+
+    def test_check_on_status_ignored_outside_io_path(self):
+        model = self.root / "src" / "model"
+        model.mkdir()
+        (model / "layer.cc").write_text("void F() { CA_CHECK(extent.ok()); }\n")
+        (model / "CMakeLists.txt").write_text("add_library(ca_model layer.cc)\n")
+        self.assertNotIn("check-on-status", self.rules())
+
+    def test_check_on_status_nolint_suppresses(self):
+        self.write("widget.cc",
+                   "void F() { CA_CHECK(extent.ok()); }  // NOLINT(check-on-status)\n")
+        self.assertNotIn("check-on-status", self.rules())
+
     def test_guard_derivation(self):
         self.assertEqual(
             lint.expected_guard(pathlib.PurePath("src/common/thread_pool.h")),
