@@ -11,6 +11,8 @@
 #include "src/model/transformer.h"
 #include "src/store/attention_store.h"
 #include "src/store/block_allocator.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/ops.h"
 
 namespace ca {
@@ -180,6 +182,62 @@ void BM_StorePayloadRoundTrip(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) * 2);
 }
 BENCHMARK(BM_StorePayloadRoundTrip)->Arg(1 << 20)->Arg(16 << 20);
+
+// Observability overhead (DESIGN.md §11). The disabled case is the one the
+// serving hot paths pay unconditionally: it must stay at the cost of a
+// relaxed atomic load so instrumented code is free when tracing is off.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  Tracer::Get().Disable();
+  Tracer::Get().Clear();
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    CA_TRACE_SPAN("bench.span", "value", ++x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  Tracer::Get().Enable();
+  Tracer::Get().Clear();
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    CA_TRACE_SPAN("bench.span", "value", ++x);
+    benchmark::DoNotOptimize(x);
+    if (Tracer::Get().event_count() > (1U << 18)) {
+      state.PauseTiming();
+      Tracer::Get().Clear();  // stay clear of the per-thread buffer cap
+      state.ResumeTiming();
+    }
+  }
+  Tracer::Get().Disable();
+  Tracer::Get().Clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter.Add();
+  }
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  MetricsRegistry registry;
+  HistogramMetric& hist = registry.GetHistogram("bench.hist");
+  double v = 0.0;
+  for (auto _ : state) {
+    hist.Observe(v += 0.5);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramObserve);
 
 }  // namespace
 }  // namespace ca

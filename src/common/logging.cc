@@ -24,7 +24,7 @@ Logger& Logger::Get() {
 }
 
 void Logger::Write(LogLevel level, std::string_view file, int line, std::string_view message) {
-  if (static_cast<int>(level) < static_cast<int>(min_level_)) {
+  if (static_cast<int>(level) < static_cast<int>(min_level())) {
     return;
   }
   // Strip directories for readability.

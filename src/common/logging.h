@@ -6,6 +6,7 @@
 #ifndef CA_COMMON_LOGGING_H_
 #define CA_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <sstream>
@@ -21,14 +22,16 @@ class Logger {
  public:
   static Logger& Get();
 
-  void set_min_level(LogLevel level) { min_level_ = level; }
-  LogLevel min_level() const { return min_level_; }
+  // Atomic: tests and benches flip the level while worker threads (the
+  // async save stream, ParallelFor helpers) are concurrently logging.
+  void set_min_level(LogLevel level) { min_level_.store(level, std::memory_order_relaxed); }
+  LogLevel min_level() const { return min_level_.load(std::memory_order_relaxed); }
 
   void Write(LogLevel level, std::string_view file, int line, std::string_view message);
 
  private:
   Logger() = default;
-  LogLevel min_level_ = LogLevel::kInfo;
+  std::atomic<LogLevel> min_level_{LogLevel::kInfo};
   std::mutex mutex_;
 };
 

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "src/common/mutex.h"
+#include "src/obs/trace.h"  // header-only: no ca_common -> ca_obs link edge
 
 namespace ca {
 
@@ -72,11 +73,22 @@ void ParallelFor(ThreadPool* pool, std::size_t begin, std::size_t end, std::size
   state->fn = &fn;
   state->next_chunk_begin.store(begin);
 
+  // Span on the calling thread; helper work is parented to it with an
+  // explicit flow link (one per call, not per chunk, so tracing stays cheap
+  // relative to the kernels it observes). flow == 0 when tracing is off,
+  // which makes every helper-side trace call a no-op.
+  CA_TRACE_SPAN("parallel_for", "chunks", n_chunks);
+  const std::uint64_t flow =
+      Tracer::Get().enabled() ? Tracer::Get().NextFlowId() : 0;
+  CA_TRACE_FLOW_BEGIN("parallel_for.fanout", flow);
+
   // One helper per worker, capped by the number of chunks beyond the one the
   // calling thread will take itself.
   const std::size_t helpers = std::min(pool->num_threads(), n_chunks - 1);
   for (std::size_t i = 0; i < helpers; ++i) {
-    pool->Submit([state] {
+    pool->Submit([state, flow] {
+      CA_TRACE_SPAN("parallel_for.worker");
+      CA_TRACE_FLOW_END("parallel_for.fanout", flow);
       if (state->RunChunks()) {
         state->all_done.NotifyAll();
       }

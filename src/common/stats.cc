@@ -80,6 +80,10 @@ double Samples::max() const {
   return *std::max_element(values_.begin(), values_.end());
 }
 
+// Mutates the sort cache through `mutable` members even though callers see
+// a const method — the single-threaded-access contract in the header exists
+// because of this line; external serialization (e.g. HistogramMetric's
+// mutex) is what makes concurrent registry snapshots sound.
 void Samples::EnsureSorted() const {
   if (!sorted_valid_) {
     sorted_ = values_;

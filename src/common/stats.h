@@ -36,6 +36,15 @@ class RunningStat {
 
 // Reservoir of samples with exact quantiles. Keeps everything; the workloads
 // in this repo produce at most a few hundred thousand samples per metric.
+//
+// Thread-safety contract: NOT internally synchronized, and not even
+// const-reader safe — Quantile()/p50()/p95()/p99() lazily (re)build the
+// mutable sort cache (EnsureSorted), so two concurrent const readers, or a
+// reader racing Add(), are a data race. Callers that share a Samples across
+// threads must serialize *all* access externally; the metrics registry does
+// exactly that by wrapping Samples behind HistogramMetric's per-handle
+// mutex (src/obs/metrics.h), which is how registry snapshots may read
+// histograms while workload threads are still observing into them.
 class Samples {
  public:
   void Add(double x);

@@ -1,25 +1,24 @@
 #include "src/core/cached_attention.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
+#include "src/store/prefetcher.h"
 
 namespace ca {
 
 namespace {
 
 // Wall-clock timestamp in SimTime units (ns) for TTL / recency bookkeeping
-// on the real path.
-SimTime WallNow() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+// on the real path. Uses the observability clock so engine timestamps and
+// trace spans share one timeline (and so src/core stays clean under the
+// no-raw-clock lint rule).
+SimTime WallNow() { return static_cast<SimTime>(TraceNowNs()); }
 
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+double SecondsSince(std::uint64_t start_ns) {
+  return static_cast<double>(TraceNowNs() - start_ns) * 1e-9;
 }
 
 }  // namespace
@@ -31,8 +30,13 @@ CachedAttentionEngine::CachedAttentionEngine(const Transformer* model, EngineOpt
         return c;
       }()) {
   CA_CHECK(model_ != nullptr);
+  auto& registry = MetricsRegistry::Global();
+  turns_counter_ = &registry.GetCounter("engine.turns");
+  load_fault_counter_ = &registry.GetCounter("engine.cache_load_faults");
+  prefill_seconds_hist_ = &registry.GetHistogram("engine.prefill_seconds");
   if (options_.async_save) {
     write_stream_ = std::make_unique<ThreadPool>(1);
+    write_stream_->Submit([] { Tracer::Get().SetThreadName("kv-save-stream"); });
   }
 }
 
@@ -88,9 +92,13 @@ Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& stat
   }
 
   // --- context-window management (§3.4) -------------------------------
+  CA_TRACE_SPAN("engine.prepare_cache", "session", session, "history",
+                state.history.size());
   std::size_t drop = 0;
   if (state.history.size() + incoming_tokens > window) {
     result.truncated = true;
+    CA_TRACE_INSTANT("engine.overflow", "session", session, "policy",
+                     static_cast<int>(options_.overflow_policy));
     // Drop the configured fraction of the window, or more if the new input
     // still would not fit.
     drop = static_cast<std::size_t>(options_.truncation_ratio * static_cast<double>(window));
@@ -114,6 +122,7 @@ Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& stat
       recompute = true;
     } else {
       WaitForPendingSave(session);
+      CA_TRACE_SPAN("store.lookup", "session", session);
       std::optional<KvRecordInfo> info;
       {
         MutexLock lock(mutex_);
@@ -153,6 +162,8 @@ Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& stat
         }
         if (!loaded_cache.has_value()) {
           ++stats_.cache_load_faults;
+          load_fault_counter_->Add();
+          CA_TRACE_INSTANT("engine.cache_load_fault", "session", session);
           recompute = true;
         } else if (loaded_cache->seq_len() != pre_drop_history) {
           CA_LOG(Warn) << "session " << session << " cache holds " << loaded_cache->seq_len()
@@ -189,6 +200,7 @@ Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& stat
   (void)recompute;
   CA_CHECK_EQ(cache.seq_len(), 0U);
   if (!state.history.empty()) {
+    CA_TRACE_SPAN("engine.prefill_history", "tokens", state.history.size());
     (void)model_->Forward(state.history, cache);
     result.computed_tokens += state.history.size();
   }
@@ -207,15 +219,19 @@ Result<Tensor> CachedAttentionEngine::ForwardTurn(SessionId session,
   }
   SessionState& state = *state_ptr;
   TurnResult result;
-  const auto start = std::chrono::steady_clock::now();
+  CA_TRACE_SPAN("engine.forward_turn", "session", session, "tokens", tokens.size());
+  const std::uint64_t start_ns = TraceNowNs();
 
   KvCache cache = model_->MakeCache(pe_mode());
   CA_RETURN_IF_ERROR(PrepareCache(session, state, tokens.size(), cache, result));
 
-  Tensor logits = model_->Forward(tokens, cache);
+  Tensor logits = [&] {
+    CA_TRACE_SPAN("engine.prefill", "tokens", tokens.size());
+    return model_->Forward(tokens, cache);
+  }();
   result.computed_tokens += tokens.size();
   result.prompt_tokens = state.history.size() + tokens.size();
-  result.prefill_seconds = SecondsSince(start);
+  result.prefill_seconds = SecondsSince(start_ns);
 
   state.history.insert(state.history.end(), tokens.begin(), tokens.end());
   if (options_.reuse_kv) {
@@ -228,6 +244,8 @@ Result<Tensor> CachedAttentionEngine::ForwardTurn(SessionId session,
   stats_.reused_tokens += result.reused_tokens;
   stats_.truncations += result.truncated ? 1 : 0;
   stats_.prefill_seconds += result.prefill_seconds;
+  turns_counter_->Add();
+  prefill_seconds_hist_->Observe(result.prefill_seconds);
   return logits;
 }
 
@@ -242,7 +260,8 @@ Result<TurnResult> CachedAttentionEngine::Converse(SessionId session,
   }
   SessionState& state = *state_ptr;
   TurnResult result;
-  const auto start = std::chrono::steady_clock::now();
+  CA_TRACE_SPAN("engine.turn", "session", session, "input", user_tokens.size());
+  const std::uint64_t start_ns = TraceNowNs();
 
   KvCache cache = model_->MakeCache(pe_mode());
   CA_RETURN_IF_ERROR(PrepareCache(session, state, user_tokens.size(), cache, result));
@@ -254,36 +273,42 @@ Result<TurnResult> CachedAttentionEngine::Converse(SessionId session,
       options_.compression.policy == CompressionPolicy::kImportance ? &mass : nullptr;
 
   // Prefill only the new input; the history is already in the cache.
-  Tensor logits = model_->Forward(user_tokens, cache, observer);
+  Tensor logits = [&] {
+    CA_TRACE_SPAN("engine.prefill", "tokens", user_tokens.size());
+    return model_->Forward(user_tokens, cache, observer);
+  }();
   result.computed_tokens += user_tokens.size();
   result.prompt_tokens = state.history.size() + user_tokens.size();
-  result.prefill_seconds = SecondsSince(start);
+  result.prefill_seconds = SecondsSince(start_ns);
 
   // Greedy decode, capped by the remaining window.
   const std::size_t window = model_->config().context_window;
   const std::size_t room = window - cache.seq_len();
   const std::size_t budget = std::min(max_reply_tokens, room);
-  TokenId next = model_->Argmax(logits, logits.dim(0) - 1);
-  for (std::size_t i = 0; i < budget; ++i) {
-    result.reply.push_back(next);
-    if (i + 1 == budget) {
-      break;  // last token needs no further forward
+  {
+    CA_TRACE_SPAN("engine.decode", "budget", budget);
+    TokenId next = model_->Argmax(logits, logits.dim(0) - 1);
+    for (std::size_t i = 0; i < budget; ++i) {
+      result.reply.push_back(next);
+      if (i + 1 == budget) {
+        break;  // last token needs no further forward
+      }
+      const TokenId tok[] = {next};
+      const Tensor step = model_->Forward(tok, cache, observer);
+      next = model_->Argmax(step, 0);
     }
-    const TokenId tok[] = {next};
-    const Tensor step = model_->Forward(tok, cache, observer);
-    next = model_->Argmax(step, 0);
-  }
 
-  // The reply's final token was sampled but (deliberately) not forwarded, so
-  // the cache covers history + input + reply[0..n-2]. Forward it now so the
-  // saved KV matches the full visible history.
-  if (!result.reply.empty() && cache.seq_len() < window) {
-    const TokenId tok[] = {result.reply.back()};
-    (void)model_->Forward(tok, cache, observer);
-  } else if (!result.reply.empty()) {
-    // No room to embed the last reply token; drop it from the visible
-    // history so text and KV stay aligned.
-    result.reply.pop_back();
+    // The reply's final token was sampled but (deliberately) not forwarded,
+    // so the cache covers history + input + reply[0..n-2]. Forward it now so
+    // the saved KV matches the full visible history.
+    if (!result.reply.empty() && cache.seq_len() < window) {
+      const TokenId tok[] = {result.reply.back()};
+      (void)model_->Forward(tok, cache, observer);
+    } else if (!result.reply.empty()) {
+      // No room to embed the last reply token; drop it from the visible
+      // history so text and KV stay aligned.
+      result.reply.pop_back();
+    }
   }
 
   state.history.insert(state.history.end(), user_tokens.begin(), user_tokens.end());
@@ -302,6 +327,8 @@ Result<TurnResult> CachedAttentionEngine::Converse(SessionId session,
   stats_.truncations += result.truncated ? 1 : 0;
   stats_.compressed_tokens += result.compressed_tokens;
   stats_.prefill_seconds += result.prefill_seconds;
+  turns_counter_->Add();
+  prefill_seconds_hist_->Observe(result.prefill_seconds);
   return result;
 }
 
@@ -351,25 +378,88 @@ void CachedAttentionEngine::SaveCache(SessionId session, const KvCache& cache) {
     }
   };
   if (write_stream_ == nullptr) {
+    CA_TRACE_SPAN("engine.save", "session", session, "bytes", payload.size());
     MutexLock lock(mutex_);
     do_put(payload);
     return;
   }
   // Asynchronous write stream (§3.2.2): the save overlaps the caller's next
   // work; readers of this session block in WaitForPendingSave until it
-  // lands.
+  // lands. The flow link ties the serving thread's enqueue to the save span
+  // on the kv-save-stream thread, so the trace shows the §3.2 overlap of
+  // async saves with the next decode.
+  const std::uint64_t flow =
+      Tracer::Get().enabled() ? Tracer::Get().NextFlowId() : 0;
+  CA_TRACE_FLOW_BEGIN("engine.save.async", flow);
   {
     MutexLock lock(mutex_);
     pending_saves_.insert(session);
   }
-  write_stream_->Submit([this, session, do_put, payload = std::move(payload)] {
+  write_stream_->Submit([this, session, flow, do_put, payload = std::move(payload)] {
     {
+      CA_TRACE_SPAN("engine.save.async", "session", session, "bytes", payload.size());
+      CA_TRACE_FLOW_END("engine.save.async", flow);
       MutexLock lock(mutex_);
       do_put(payload);
       pending_saves_.erase(session);
     }
     save_done_.NotifyAll();
   });
+}
+
+std::size_t CachedAttentionEngine::PrefetchSessions(std::span<const SessionId> upcoming) {
+  if (upcoming.empty()) {
+    return 0;
+  }
+  CA_TRACE_SPAN("engine.prefetch", "sessions", upcoming.size());
+  MutexLock lock(mutex_);
+  // S_kv estimate: running average record size across the store (the paper's
+  // per-session KV size input to L_pw = C_mem / S_kv).
+  const std::size_t records = store_.RecordCount();
+  if (records == 0) {
+    return 0;
+  }
+  std::uint64_t total_bytes = 0;
+  for (const Tier tier : {Tier::kHbm, Tier::kDram, Tier::kDisk}) {
+    total_bytes += store_.UsedBytes(tier);
+  }
+  const std::uint64_t avg_bytes = std::max<std::uint64_t>(1, total_bytes / records);
+  const SchedulerHints hints = CurrentHintsLocked();
+  // Restore the DRAM free-space fetch buffer first (§3.3.1): serving Puts
+  // fill DRAM to capacity, and without free bytes the prefetch window
+  // L_pw = C_mem / S_kv collapses to zero.
+  if (options_.store.dram_buffer > 0) {
+    store_.MaintainDramBuffer(WallNow(), hints);
+  }
+  Prefetcher prefetcher(&store_);
+  const PrefetchPlan plan = prefetcher.Plan(upcoming, avg_bytes);
+  if (plan.to_fetch.empty()) {
+    return 0;
+  }
+  return prefetcher.Execute(plan, WallNow(), hints);
+}
+
+void CachedAttentionEngine::PublishMetrics(MetricsRegistry* registry) const {
+  MetricsRegistry& reg = registry != nullptr ? *registry : MetricsRegistry::Global();
+  EngineStats snapshot;
+  {
+    MutexLock lock(mutex_);
+    // stats_ is owned by the serving thread; PublishMetrics is documented
+    // quiescent-only, so reading it here is stale at worst, not racy in a
+    // way that matters (all fields are plain loads of settled values).
+    snapshot = stats_;
+    store_.PublishMetrics(&reg);
+  }
+  const auto gauge = [&reg](std::string_view name, double v) { reg.GetGauge(name).Set(v); };
+  gauge("engine_stats.turns", static_cast<double>(snapshot.turns));
+  gauge("engine_stats.prompt_tokens", static_cast<double>(snapshot.prompt_tokens));
+  gauge("engine_stats.computed_tokens", static_cast<double>(snapshot.computed_tokens));
+  gauge("engine_stats.reused_tokens", static_cast<double>(snapshot.reused_tokens));
+  gauge("engine_stats.truncations", static_cast<double>(snapshot.truncations));
+  gauge("engine_stats.compressed_tokens", static_cast<double>(snapshot.compressed_tokens));
+  gauge("engine_stats.cache_load_faults", static_cast<double>(snapshot.cache_load_faults));
+  gauge("engine_stats.prefill_seconds", snapshot.prefill_seconds);
+  gauge("engine_stats.reuse_fraction", snapshot.reuse_fraction());
 }
 
 }  // namespace ca

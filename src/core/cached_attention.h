@@ -33,6 +33,7 @@
 #include "src/model/compression.h"
 #include "src/model/kv_cache.h"
 #include "src/model/transformer.h"
+#include "src/obs/metrics.h"
 #include "src/store/attention_store.h"
 
 namespace ca {
@@ -134,6 +135,15 @@ class CachedAttentionEngine {
   // scheduler-aware policy and prefetcher see future accesses.
   void SetQueueHint(std::vector<SessionId> upcoming) CA_EXCLUDES(mutex_);
 
+  // Scheduler-aware pre-loading (§3.3.1): plans a prefetch window over
+  // `upcoming` (head first) and promotes the planned disk-resident KV
+  // caches into DRAM. Safe to call from a background thread while another
+  // thread serves turns — the engine mutex is held for the store mutations,
+  // which the compute phase of Converse/ForwardTurn never holds, so the
+  // promotion I/O genuinely overlaps computation (the overlap the
+  // "preload" trace spans make visible). Returns promoted-session count.
+  std::size_t PrefetchSessions(std::span<const SessionId> upcoming) CA_EXCLUDES(mutex_);
+
   // Waits for all asynchronous saves to land.
   void Flush();
 
@@ -142,6 +152,13 @@ class CachedAttentionEngine {
 
   // Drops a session's state (and stored KV).
   void EndSession(SessionId session) CA_EXCLUDES(mutex_);
+
+  // Republishes the cumulative EngineStats and the store's StoreStats into
+  // the metrics registry as "engine_stats.*" / "store_stats.*" gauges
+  // (DESIGN.md §11). Call from a quiescent point (e.g. after Flush); the
+  // hot-path counters ("engine.turns", "store.hits{tier=...}") are
+  // maintained live and need no republishing.
+  void PublishMetrics(MetricsRegistry* registry = nullptr) const CA_EXCLUDES(mutex_);
 
  private:
   struct SessionState {
@@ -186,6 +203,12 @@ class CachedAttentionEngine {
   // Turn accounting; written only by the serving thread (never by the write
   // stream), so it needs no lock.
   EngineStats stats_;
+
+  // Live metrics handles (global registry; cached here because registration
+  // is a map lookup — DESIGN.md §11).
+  Counter* turns_counter_;
+  Counter* load_fault_counter_;
+  HistogramMetric* prefill_seconds_hist_;
 };
 
 }  // namespace ca

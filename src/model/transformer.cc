@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/common/parallel_for.h"
+#include "src/obs/trace.h"
 #include "src/tensor/ops.h"
 
 namespace ca {
@@ -193,6 +194,10 @@ Tensor Transformer::Forward(std::span<const TokenId> tokens, KvCache& cache,
 
   const std::size_t n = tokens.size();
   const std::size_t d = config_.d_model;
+
+  // The compute span of the §3.2 overlap timelines: preload spans (store
+  // promotions) and async-save spans show up concurrent with these.
+  CA_TRACE_SPAN("model.forward", "tokens", n, "history", history_len);
 
   // Grow the cache once for the whole pass (prefill would otherwise pay
   // per-append vector regrowth), and reclaim the scratch of the previous

@@ -1,0 +1,218 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ca {
+
+namespace {
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendJsonNumber(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+HistogramMetric::View HistogramMetric::Snapshot() const {
+  MutexLock lock(mu_);
+  View v;
+  v.count = stat_.count();
+  v.sum = stat_.sum();
+  v.mean = stat_.mean();
+  v.min = stat_.min();
+  v.max = stat_.max();
+  v.p50 = samples_.p50();
+  v.p95 = samples_.p95();
+  v.p99 = samples_.p99();
+  return v;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // NOLINT(naked-new): leaky singleton
+  return *registry;
+}
+
+std::string MetricsRegistry::EncodeKey(std::string_view name, const MetricLabels& labels) {
+  std::string key(name);
+  if (labels.empty()) {
+    return key;
+  }
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) {
+      key += ',';
+    }
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name, const MetricLabels& labels) {
+  const std::string key = EncodeKey(name, labels);
+  MutexLock lock(mu_);
+  auto& slot = counters_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, const MetricLabels& labels) {
+  const std::string key = EncodeKey(name, labels);
+  MutexLock lock(mu_);
+  auto& slot = gauges_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::GetHistogram(std::string_view name,
+                                               const MetricLabels& labels) {
+  const std::string key = EncodeKey(name, labels);
+  MutexLock lock(mu_);
+  auto& slot = histograms_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<HistogramMetric>();
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  MutexLock lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) {
+    snap.counters.push_back({key, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, gauge] : gauges_) {
+    snap.gauges.push_back({key, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, histogram] : histograms_) {
+    snap.histograms.push_back({key, histogram->Snapshot()});
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  MutexLock lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::size_t width = 0;
+  for (const auto& c : counters) {
+    width = std::max(width, c.key.size());
+  }
+  for (const auto& g : gauges) {
+    width = std::max(width, g.key.size());
+  }
+  for (const auto& h : histograms) {
+    width = std::max(width, h.key.size());
+  }
+  std::string out;
+  char buf[256];
+  const int w = static_cast<int>(width);
+  for (const auto& c : counters) {
+    std::snprintf(buf, sizeof(buf), "%-*s  %llu\n", w, c.key.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  for (const auto& g : gauges) {
+    std::snprintf(buf, sizeof(buf), "%-*s  %.6g\n", w, g.key.c_str(), g.value);
+    out += buf;
+  }
+  for (const auto& h : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-*s  count=%zu mean=%.6g min=%.6g max=%.6g p50=%.6g p95=%.6g p99=%.6g\n", w,
+                  h.key.c_str(), h.view.count, h.view.mean, h.view.min, h.view.max, h.view.p50,
+                  h.view.p95, h.view.p99);
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += '"';
+    AppendJsonEscaped(out, counters[i].key);
+    out += "\":";
+    out += std::to_string(counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += '"';
+    AppendJsonEscaped(out, gauges[i].key);
+    out += "\":";
+    AppendJsonNumber(out, gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    const auto& h = histograms[i];
+    out += '"';
+    AppendJsonEscaped(out, h.key);
+    out += "\":{\"count\":";
+    out += std::to_string(h.view.count);
+    out += ",\"sum\":";
+    AppendJsonNumber(out, h.view.sum);
+    out += ",\"mean\":";
+    AppendJsonNumber(out, h.view.mean);
+    out += ",\"min\":";
+    AppendJsonNumber(out, h.view.min);
+    out += ",\"max\":";
+    AppendJsonNumber(out, h.view.max);
+    out += ",\"p50\":";
+    AppendJsonNumber(out, h.view.p50);
+    out += ",\"p95\":";
+    AppendJsonNumber(out, h.view.p95);
+    out += ",\"p99\":";
+    AppendJsonNumber(out, h.view.p99);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ca

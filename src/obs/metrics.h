@@ -1,0 +1,163 @@
+// Metrics registry (DESIGN.md §11): named counters, gauges and histograms
+// with label support and text/JSON snapshot export.
+//
+// Before this layer every module kept private counter structs (EngineStats,
+// StoreStats) with no shared registry and no export; the registry gives the
+// whole stack one namespace of metrics that tools (examples/obs_inspector)
+// and tests can snapshot uniformly. The private structs remain the
+// low-overhead source of truth on their hot paths and are *republished*
+// into the registry (CachedAttentionEngine::PublishMetrics,
+// AttentionStore::PublishMetrics).
+//
+// Handles: GetCounter/GetGauge/GetHistogram intern the (name, labels) pair
+// under the registry mutex and return a reference that stays valid for the
+// registry's lifetime. Hot paths must cache the reference (registration is
+// a map lookup; the returned handle's Add/Set/Observe are one relaxed
+// atomic or one uncontended mutex). Labels distinguish streams of one
+// logical metric, e.g. GetCounter("store.hits", {{"tier", "dram"}}).
+//
+// Thread safety: every handle operation and Snapshot() are thread-safe;
+// snapshots taken while writers are active see each metric atomically
+// (counters/gauges are single atomics; histograms lock per-handle, which is
+// what makes reading their Samples safe — see the contract note in
+// src/common/stats.h).
+#ifndef CA_OBS_METRICS_H_
+#define CA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/stats.h"
+#include "src/common/thread_annotations.h"
+
+namespace ca {
+
+// One (key, value) metric label. Keys and values are plain strings; the
+// registry sorts labels so {"a=1","b=2"} and {"b=2","a=1"} intern to the
+// same metric.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  // Republishing hook for pre-existing cumulative stats structs; regular
+  // instrumentation should only ever Add.
+  void Set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Point-in-time level (queue depth, bytes resident, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Distribution metric: Welford moments (RunningStat) plus exact quantiles
+// (Samples), both from src/common/stats.h, serialized behind a per-handle
+// mutex so snapshot readers never race sample writers.
+class HistogramMetric {
+ public:
+  void Observe(double v) CA_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    stat_.Add(v);
+    samples_.Add(v);
+  }
+
+  struct View {
+    std::size_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  View Snapshot() const CA_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  RunningStat stat_ CA_GUARDED_BY(mu_);
+  Samples samples_ CA_GUARDED_BY(mu_);
+};
+
+// A full point-in-time copy of the registry, ordered by metric key.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string key;  // "name{label=value,...}" (no braces when unlabeled)
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string key;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string key;
+    HistogramMetric::View view;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  // Human-readable aligned dump (one metric per line).
+  std::string ToText() const;
+  // JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string ToJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-wide registry all built-in instrumentation publishes to. Tests
+  // may construct private registries instead.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name, const MetricLabels& labels = {})
+      CA_EXCLUDES(mu_);
+  Gauge& GetGauge(std::string_view name, const MetricLabels& labels = {}) CA_EXCLUDES(mu_);
+  HistogramMetric& GetHistogram(std::string_view name, const MetricLabels& labels = {})
+      CA_EXCLUDES(mu_);
+
+  MetricsSnapshot Snapshot() const CA_EXCLUDES(mu_);
+
+  // Canonical "name{k=v,...}" key (labels sorted by key). Exposed for tests.
+  static std::string EncodeKey(std::string_view name, const MetricLabels& labels);
+
+  // Drops every registered metric. Outstanding handles dangle — only for
+  // tests that own the registry's full lifecycle.
+  void ResetForTesting() CA_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ CA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ CA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_ CA_GUARDED_BY(mu_);
+};
+
+}  // namespace ca
+
+#endif  // CA_OBS_METRICS_H_

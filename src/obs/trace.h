@@ -1,0 +1,449 @@
+// Span tracer with Chrome trace-event export (DESIGN.md §11).
+//
+// The paper's headline mechanisms are *timing overlaps* — layer-wise
+// pre-loading hidden behind computation (§3.2.1) and asynchronous saving
+// hidden behind decode (§3.2.2). The tracer makes those overlaps visible:
+// RAII spans on every interesting code path (engine turns, store I/O,
+// prefetcher preloads, the async save stream) are exported as Chrome
+// trace-event JSON, so one conversation turn can be opened in
+// chrome://tracing or https://ui.perfetto.dev and the preload/compute and
+// save/decode concurrency inspected on a real timeline.
+//
+// Usage:
+//   CA_TRACE_SPAN("prefill", "tokens", n);             // RAII scope
+//   CA_TRACE_INSTANT("store.retry", "tier", "disk");   // point event
+//   CA_TRACE_COUNTER("queue_depth", depth);            // counter track
+//   const std::uint64_t flow = Tracer::Get().NextFlowId();
+//   CA_TRACE_FLOW_BEGIN("save", flow);   // producer thread
+//   CA_TRACE_FLOW_END("save", flow);     // consumer thread (links arrows)
+//
+// Overhead contract (DESIGN.md §11): tracing is compiled in but branch
+// gated. When disabled (the default) every macro costs one relaxed atomic
+// load plus a zeroed span object; argument expressions are NOT evaluated
+// (they sit in the untaken branch of a conditional expression). The
+// BM_TraceSpanDisabled micro-benchmark and the BM_TransformerDecodeStep
+// trajectory in BENCH_kernels.json hold this under 1% on the decode path.
+// Tracing never perturbs results: replies are bitwise identical with
+// tracing on vs. off (ObsTest.RepliesBitwiseIdenticalTracingOnVsOff).
+//
+// Threading: events are recorded into per-thread buffers (registered on
+// first use, guarded by a per-buffer mutex that is uncontended in steady
+// state); export merges and time-sorts all buffers and may run concurrently
+// with recording. Cross-thread causality (e.g. the async-save stream) is
+// expressed with explicit flow links, not guessed from timestamps.
+//
+// This header is deliberately header-only so the lowest layers
+// (src/common/parallel_for.cc) can emit spans without a ca_common -> ca_obs
+// link cycle; the metrics registry (src/obs/metrics.h) builds on ca_common
+// normally.
+#ifndef CA_OBS_TRACE_H_
+#define CA_OBS_TRACE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/status.h"
+#include "src/common/thread_annotations.h"
+
+namespace ca {
+
+// Monotonic nanosecond clock. All wall-clock timing in src/core and
+// src/store goes through this (enforced by the `no-raw-clock` lint rule) so
+// every measured duration shares the tracer's timebase and shows up at the
+// right place on an exported timeline.
+inline std::uint64_t TraceNowNs() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+// One recorded trace event, in Chrome trace-event vocabulary: ph is the
+// event phase — 'X' complete span, 'i' instant, 'C' counter, 's'/'f' flow
+// start/finish. `args` holds pre-rendered JSON object members ("" if none).
+struct TraceEvent {
+  char ph = 'X';
+  std::uint32_t tid = 0;
+  const char* name = nullptr;  // static string (never freed)
+  const char* cat = "ca";      // static string
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;  // 'X' only
+  std::uint64_t flow_id = 0; // 's'/'f' only
+  std::string args;
+};
+
+namespace internal {
+
+// --- inline JSON arg rendering (only runs when tracing is enabled) --------
+
+inline void TraceJsonEscape(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+inline void TraceAppendValue(std::string& out, std::string_view v) {
+  out += '"';
+  TraceJsonEscape(out, v);
+  out += '"';
+}
+inline void TraceAppendValue(std::string& out, const char* v) {
+  TraceAppendValue(out, std::string_view(v));
+}
+inline void TraceAppendValue(std::string& out, const std::string& v) {
+  TraceAppendValue(out, std::string_view(v));
+}
+inline void TraceAppendValue(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+template <typename T>
+  requires std::is_integral_v<T>
+inline void TraceAppendValue(std::string& out, T v) {
+  out += std::to_string(v);
+}
+
+inline void TraceAppendArgs(std::string&) {}
+
+template <typename V, typename... Rest>
+inline void TraceAppendArgs(std::string& out, const char* key, const V& value, Rest&&... rest) {
+  if (!out.empty()) {
+    out += ',';
+  }
+  out += '"';
+  out += key;  // keys are static identifiers; no escaping needed
+  out += "\":";
+  TraceAppendValue(out, value);
+  TraceAppendArgs(out, std::forward<Rest>(rest)...);
+}
+
+}  // namespace internal
+
+// Process-wide tracer singleton. Disabled by default; Enable()/Disable()
+// bracket the workload of interest, ExportChromeJson() afterwards.
+class Tracer {
+ public:
+  static Tracer& Get() {
+    static Tracer* tracer = new Tracer();  // NOLINT(naked-new): leaky singleton
+    return *tracer;
+  }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  void Enable() { SetEnabled(true); }
+  void Disable() { SetEnabled(false); }
+
+  // Monotonically increasing, never 0 (0 marks "no flow" in TraceEvent).
+  std::uint64_t NextFlowId() { return next_flow_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Appends an event to the calling thread's buffer. Cheap: one uncontended
+  // mutex acquisition plus a vector push. Buffers are bounded
+  // (kMaxEventsPerThread); overflow drops the event and counts it.
+  void Record(TraceEvent event) CA_EXCLUDES(mu_) {
+    ThreadBuffer& buf = LocalBuffer();
+    event.tid = buf.tid;
+    MutexLock lock(buf.mu);
+    if (buf.events.size() >= kMaxEventsPerThread) {
+      ++buf.dropped;
+      return;
+    }
+    buf.events.push_back(std::move(event));
+  }
+
+  template <typename... Args>
+  void RecordInstant(const char* name, Args&&... args) {
+    TraceEvent e;
+    e.ph = 'i';
+    e.name = name;
+    e.ts_ns = TraceNowNs();
+    internal::TraceAppendArgs(e.args, std::forward<Args>(args)...);
+    Record(std::move(e));
+  }
+
+  void RecordCounter(const char* name, double value) {
+    TraceEvent e;
+    e.ph = 'C';
+    e.name = name;
+    e.ts_ns = TraceNowNs();
+    internal::TraceAppendArgs(e.args, "value", value);
+    Record(std::move(e));
+  }
+
+  void RecordFlow(char ph, const char* name, std::uint64_t flow_id) {
+    TraceEvent e;
+    e.ph = ph;
+    e.name = name;
+    e.cat = "flow";
+    e.ts_ns = TraceNowNs();
+    e.flow_id = flow_id;
+    Record(std::move(e));
+  }
+
+  // Names the calling thread's track in the exported trace.
+  void SetThreadName(std::string name) {
+    ThreadBuffer& buf = LocalBuffer();
+    MutexLock lock(buf.mu);
+    buf.name = std::move(name);
+  }
+
+  // Drops all recorded events (buffers and thread registrations survive, so
+  // held thread-local pointers stay valid).
+  void Clear() CA_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    for (const auto& buf : buffers_) {
+      MutexLock buf_lock(buf->mu);
+      buf->events.clear();
+      buf->dropped = 0;
+    }
+  }
+
+  std::size_t event_count() const CA_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    std::size_t n = 0;
+    for (const auto& buf : buffers_) {
+      MutexLock buf_lock(buf->mu);
+      n += buf->events.size();
+    }
+    return n;
+  }
+
+  std::size_t dropped_count() const CA_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    std::size_t n = 0;
+    for (const auto& buf : buffers_) {
+      MutexLock buf_lock(buf->mu);
+      n += buf->dropped;
+    }
+    return n;
+  }
+
+  // Copies every recorded event, merged across threads and sorted by
+  // timestamp. Test/introspection surface; ExportChromeJson builds on it.
+  std::vector<TraceEvent> SnapshotEvents() const CA_EXCLUDES(mu_) {
+    std::vector<TraceEvent> out;
+    MutexLock lock(mu_);
+    for (const auto& buf : buffers_) {
+      MutexLock buf_lock(buf->mu);
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) { return a.ts_ns < b.ts_ns; });
+    return out;
+  }
+
+  // Chrome trace-event JSON (the {"traceEvents": [...]} object form).
+  // Timestamps are microseconds relative to the earliest recorded event so
+  // viewers open at t=0 instead of hours of steady_clock uptime.
+  std::string ExportChromeJson() const {
+    const std::vector<TraceEvent> events = SnapshotEvents();
+    const std::uint64_t t0 = events.empty() ? 0 : events.front().ts_ns;
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+           "\"args\":{\"name\":\"cachedattention\"}}";
+    {
+      MutexLock lock(mu_);
+      for (const auto& buf : buffers_) {
+        MutexLock buf_lock(buf->mu);
+        out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+        out += std::to_string(buf->tid);
+        out += ",\"args\":{\"name\":\"";
+        internal::TraceJsonEscape(out, buf->name);
+        out += "\"}}";
+      }
+    }
+    char num[48];
+    for (const TraceEvent& e : events) {
+      out += ",{\"name\":\"";
+      internal::TraceJsonEscape(out, e.name == nullptr ? "?" : e.name);
+      out += "\",\"cat\":\"";
+      internal::TraceJsonEscape(out, e.cat == nullptr ? "ca" : e.cat);
+      out += "\",\"ph\":\"";
+      out += e.ph;
+      out += "\",\"pid\":1,\"tid\":";
+      out += std::to_string(e.tid);
+      std::snprintf(num, sizeof(num), ",\"ts\":%.3f",
+                    static_cast<double>(e.ts_ns - t0) / 1000.0);
+      out += num;
+      if (e.ph == 'X') {
+        std::snprintf(num, sizeof(num), ",\"dur\":%.3f", static_cast<double>(e.dur_ns) / 1000.0);
+        out += num;
+      }
+      if (e.ph == 's' || e.ph == 'f') {
+        out += ",\"id\":";
+        out += std::to_string(e.flow_id);
+        if (e.ph == 'f') {
+          out += ",\"bp\":\"e\"";  // bind to the enclosing slice
+        }
+      }
+      if (e.ph == 'i') {
+        out += ",\"s\":\"t\"";  // thread-scoped instant
+      }
+      if (!e.args.empty()) {
+        out += ",\"args\":{";
+        out += e.args;
+        out += '}';
+      }
+      out += '}';
+    }
+    out += "]}";
+    return out;
+  }
+
+  Status ExportChromeJsonToFile(const std::string& path) const {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f.is_open()) {
+      return IoError("cannot open trace output file " + path);
+    }
+    const std::string json = ExportChromeJson();
+    f.write(json.data(), static_cast<std::streamsize>(json.size()));
+    f.flush();
+    if (!f.good()) {
+      return IoError("short write to trace output file " + path);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  // Generous bound: a multi-turn inspector run records a few thousand
+  // events; runaway instrumentation hits the cap instead of eating RAM.
+  static constexpr std::size_t kMaxEventsPerThread = 1U << 20;
+
+  struct ThreadBuffer {
+    mutable Mutex mu;
+    std::vector<TraceEvent> events CA_GUARDED_BY(mu);
+    std::size_t dropped CA_GUARDED_BY(mu) = 0;
+    std::uint32_t tid = 0;
+    std::string name CA_GUARDED_BY(mu);
+  };
+
+  Tracer() = default;
+
+  ThreadBuffer& LocalBuffer() CA_EXCLUDES(mu_) {
+    thread_local ThreadBuffer* tl_buffer = nullptr;
+    if (tl_buffer == nullptr) {
+      auto buf = std::make_unique<ThreadBuffer>();
+      MutexLock lock(mu_);
+      buf->tid = static_cast<std::uint32_t>(buffers_.size() + 1);
+      {
+        MutexLock buf_lock(buf->mu);
+        buf->name = "thread-" + std::to_string(buf->tid);
+      }
+      tl_buffer = buf.get();
+      buffers_.push_back(std::move(buf));
+    }
+    return *tl_buffer;
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_flow_id_{1};
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ CA_GUARDED_BY(mu_);
+};
+
+// RAII span. Default-constructed spans are inert; Begin() arms them (the
+// CA_TRACE_SPAN macro only calls Begin when tracing is enabled, so argument
+// expressions cost nothing while tracing is off).
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { End(); }
+
+  template <typename... Args>
+  void Begin(const char* name, Args&&... args) {
+    name_ = name;
+    args_.clear();
+    internal::TraceAppendArgs(args_, std::forward<Args>(args)...);
+    start_ns_ = TraceNowNs();
+  }
+
+  // Closes the span early (also called by the destructor). Records even if
+  // tracing was disabled mid-span, so scopes always pair up.
+  void End() {
+    if (start_ns_ == 0) {
+      return;
+    }
+    TraceEvent e;
+    e.ph = 'X';
+    e.name = name_;
+    e.ts_ns = start_ns_;
+    e.dur_ns = TraceNowNs() - start_ns_;
+    e.args = std::move(args_);
+    start_ns_ = 0;
+    Tracer::Get().Record(std::move(e));
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::string args_;
+};
+
+}  // namespace ca
+
+#define CA_OBS_CONCAT_INNER_(a, b) a##b
+#define CA_OBS_CONCAT_(a, b) CA_OBS_CONCAT_INNER_(a, b)
+
+// RAII span covering the rest of the enclosing scope. Arguments after the
+// name are key/value pairs: CA_TRACE_SPAN("prefill", "tokens", n).
+#define CA_TRACE_SPAN(...)                                                  \
+  ::ca::TraceSpan CA_OBS_CONCAT_(ca_trace_span_, __LINE__);                 \
+  (::ca::Tracer::Get().enabled()                                            \
+       ? CA_OBS_CONCAT_(ca_trace_span_, __LINE__).Begin(__VA_ARGS__)        \
+       : void(0))
+
+#define CA_TRACE_INSTANT(...)                                               \
+  (::ca::Tracer::Get().enabled() ? ::ca::Tracer::Get().RecordInstant(__VA_ARGS__) : void(0))
+
+#define CA_TRACE_COUNTER(name, value)                                       \
+  (::ca::Tracer::Get().enabled()                                            \
+       ? ::ca::Tracer::Get().RecordCounter((name), static_cast<double>(value)) \
+       : void(0))
+
+// Explicit cross-thread causality: call FLOW_BEGIN on the producing thread
+// and FLOW_END (same name + id) inside the consuming span. `id` from
+// Tracer::NextFlowId(); id 0 (the disabled-tracing value) records nothing.
+#define CA_TRACE_FLOW_BEGIN(name, id)                                       \
+  ((id) != 0 && ::ca::Tracer::Get().enabled()                               \
+       ? ::ca::Tracer::Get().RecordFlow('s', (name), (id))                  \
+       : void(0))
+
+#define CA_TRACE_FLOW_END(name, id)                                         \
+  ((id) != 0 && ::ca::Tracer::Get().enabled()                               \
+       ? ::ca::Tracer::Get().RecordFlow('f', (name), (id))                  \
+       : void(0))
+
+#endif  // CA_OBS_TRACE_H_

@@ -1,8 +1,19 @@
 #include "src/sched/batcher.h"
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace ca {
+
+namespace {
+
+Gauge& ActiveGauge() {
+  static Gauge& gauge = MetricsRegistry::Global().GetGauge("sched.batch_active");
+  return gauge;
+}
+
+}  // namespace
 
 ContinuousBatcher::ContinuousBatcher(std::size_t max_batch) : max_batch_(max_batch) {
   CA_CHECK_GT(max_batch, 0U);
@@ -11,7 +22,9 @@ ContinuousBatcher::ContinuousBatcher(std::size_t max_batch) : max_batch_(max_bat
 void ContinuousBatcher::Admit(const Job& job, std::uint32_t remaining) {
   CA_CHECK(HasSlot()) << "batch full";
   CA_CHECK_EQ(active_.count(job.id), 0U) << "job " << job.id << " already active";
+  CA_TRACE_INSTANT("sched.batch_admit", "job", job.id, "session", job.session);
   active_.emplace(job.id, Slot{.job = job, .remaining = remaining});
+  ActiveGauge().Set(static_cast<double>(active_.size()));
 }
 
 std::vector<Job> ContinuousBatcher::StepIteration() {
@@ -27,6 +40,9 @@ std::vector<Job> ContinuousBatcher::StepIteration() {
     } else {
       ++it;
     }
+  }
+  if (!done.empty()) {
+    ActiveGauge().Set(static_cast<double>(active_.size()));
   }
   return done;
 }

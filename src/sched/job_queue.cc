@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
+
 namespace ca {
 
-void JobQueue::Push(Job job) { jobs_.push_back(job); }
+void JobQueue::Push(Job job) {
+  CA_TRACE_INSTANT("sched.enqueue", "job", job.id, "session", job.session);
+  jobs_.push_back(job);
+  enqueue_ns_.push_back(TraceNowNs());
+  depth_gauge_->Set(static_cast<double>(jobs_.size()));
+}
 
 std::optional<Job> JobQueue::Pop() {
   if (jobs_.empty()) {
@@ -12,6 +19,12 @@ std::optional<Job> JobQueue::Pop() {
   }
   Job job = jobs_.front();
   jobs_.pop_front();
+  const std::uint64_t queued_at = enqueue_ns_.front();
+  enqueue_ns_.pop_front();
+  const double waited = static_cast<double>(TraceNowNs() - queued_at) * 1e-9;
+  wait_hist_->Observe(waited);
+  depth_gauge_->Set(static_cast<double>(jobs_.size()));
+  CA_TRACE_INSTANT("sched.dequeue", "job", job.id, "session", job.session);
   return job;
 }
 

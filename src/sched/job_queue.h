@@ -7,10 +7,12 @@
 #define CA_SCHED_JOB_QUEUE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/sched/job.h"
 #include "src/store/types.h"
 
@@ -36,6 +38,14 @@ class JobQueue {
 
  private:
   std::deque<Job> jobs_;
+  // Enqueue timestamps parallel to jobs_ (Job itself stays a plain value
+  // type); Pop() observes head wait time into the registry histogram.
+  std::deque<std::uint64_t> enqueue_ns_;
+
+  // Registry handles (DESIGN.md §11), interned once per queue.
+  Gauge* depth_gauge_ = &MetricsRegistry::Global().GetGauge("sched.queue_depth");
+  HistogramMetric* wait_hist_ =
+      &MetricsRegistry::Global().GetHistogram("sched.queue_wait_seconds");
 };
 
 }  // namespace ca

@@ -10,6 +10,7 @@
 #include "src/common/check.h"
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace ca {
 
@@ -70,6 +71,12 @@ std::string_view TierHealthName(TierHealth health) {
 AttentionStore::AttentionStore(StoreConfig config)
     : config_(std::move(config)), policy_(MakeEvictionPolicy(config_.eviction_policy)) {
   CA_CHECK_GT(config_.block_bytes, 0ULL);
+  auto& registry = MetricsRegistry::Global();
+  for (const Tier tier : {Tier::kHbm, Tier::kDram, Tier::kDisk}) {
+    hit_counters_[static_cast<std::size_t>(tier)] = &registry.GetCounter(
+        "store.hits", {{"tier", std::string(TierName(tier))}});
+  }
+  miss_counter_ = &registry.GetCounter("store.misses");
   if (config_.disk_path.empty()) {
     config_.disk_path = UniqueDiskPath();
   }
@@ -268,6 +275,7 @@ void AttentionStore::MarkQuarantined(Tier tier, const Status& cause) {
   }
   CA_LOG(Warn) << TierName(tier) << " tier quarantined after " << h.consecutive_permanent
                << " consecutive permanent I/O failures: " << cause;
+  CA_TRACE_INSTANT("store.quarantine", "tier", TierName(tier));
   h.health = TierHealth::kQuarantined;
   ++stats_.tiers_quarantined;
   // Record-dropping is deferred: callers may hold references into records_
@@ -307,6 +315,7 @@ Result<BlockExtent> AttentionStore::WriteWithRetry(BlockStorage& storage,
     }
     if (extent.status().code() == StatusCode::kUnavailable && attempt < config_.io_retries) {
       ++stats_.io_retries;
+      CA_TRACE_INSTANT("store.io_retry", "tier", TierName(tier), "attempt", attempt + 1);
       if (backoff_us > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
         backoff_us *= 2;
@@ -333,6 +342,8 @@ Result<std::vector<std::uint8_t>> AttentionStore::ReadVerified(BlockStorage& sto
       // Retrying cannot help (the damage is persistent or the next read is
       // equally suspect); the payload must never reach attention.
       ++stats_.corrupt_payloads;
+      CA_TRACE_INSTANT("store.corrupt_payload", "session", record.session, "tier",
+                       TierName(tier));
       const Status corrupt =
           DataLossError("session " + std::to_string(record.session) +
                         " payload failed checksum verification in " +
@@ -342,6 +353,7 @@ Result<std::vector<std::uint8_t>> AttentionStore::ReadVerified(BlockStorage& sto
     }
     if (data.status().code() == StatusCode::kUnavailable && attempt < config_.io_retries) {
       ++stats_.io_retries;
+      CA_TRACE_INSTANT("store.io_retry", "tier", TierName(tier), "attempt", attempt + 1);
       if (backoff_us > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
         backoff_us *= 2;
@@ -378,6 +390,8 @@ std::optional<KvRecordInfo> AttentionStore::Access(SessionId session, SimTime no
   const auto it = records_.find(session);
   if (it == records_.end()) {
     ++stats_.misses;
+    miss_counter_->Add();
+    CA_TRACE_INSTANT("store.miss", "session", session);
     return std::nullopt;
   }
   KvRecord& r = it->second;
@@ -394,6 +408,8 @@ std::optional<KvRecordInfo> AttentionStore::Access(SessionId session, SimTime no
     case Tier::kNone:
       CA_CHECK(false) << "record without tier";
   }
+  hit_counters_[static_cast<std::size_t>(r.tier)]->Add();
+  CA_TRACE_INSTANT("store.hit", "session", session, "tier", TierName(r.tier));
   r.last_access = now;
   return GetInfo(session);
 }
@@ -418,6 +434,8 @@ std::optional<SessionId> AttentionStore::PickVictim(Tier tier, SessionId exclude
 Status AttentionStore::MoveRecord(KvRecord& record, Tier target) {
   const Tier source = record.tier;
   CA_CHECK(source != target);
+  CA_TRACE_SPAN("store.move", "session", record.session, "from", TierName(source),
+                "to", TierName(target), "bytes", record.bytes);
   // Move payload bytes first (real mode); accounting follows only once the
   // bytes are safely at the target, so a failure rolls back completely.
   if (config_.real_payloads && !record.extent.empty()) {
@@ -510,6 +528,8 @@ Status AttentionStore::Put(SessionId session, std::uint64_t bytes, std::uint64_t
     CA_CHECK(payload.empty()) << "payload passed to capacity-only store";
   }
 
+  CA_TRACE_SPAN("store.put", "session", session, "bytes", bytes);
+
   // Updating an existing record: release its old residency first so its own
   // space counts as free for the new placement. The original insertion
   // sequence is preserved so FIFO order reflects first insertion, not the
@@ -580,6 +600,7 @@ Status AttentionStore::Put(SessionId session, std::uint64_t bytes, std::uint64_t
 
 Result<std::vector<std::uint8_t>> AttentionStore::ReadPayload(SessionId session) {
   CA_CHECK(config_.real_payloads) << "ReadPayload on capacity-only store";
+  CA_TRACE_SPAN("store.read_payload", "session", session);
   const auto it = records_.find(session);
   if (it == records_.end()) {
     return NotFoundError("session " + std::to_string(session));
@@ -606,6 +627,9 @@ Result<std::vector<std::uint8_t>> AttentionStore::ReadPayload(SessionId session)
 }
 
 Status AttentionStore::Promote(SessionId session, SimTime now, const SchedulerHints& hints) {
+  // The §3.3.1 preload span: in overlap traces these run concurrent with
+  // model.forward spans on the serving thread.
+  CA_TRACE_SPAN("store.promote", "session", session);
   const auto it = records_.find(session);
   if (it == records_.end()) {
     return NotFoundError("session " + std::to_string(session));
@@ -641,6 +665,7 @@ Status AttentionStore::Promote(SessionId session, SimTime now, const SchedulerHi
 }
 
 Status AttentionStore::Demote(SessionId session, SimTime now, const SchedulerHints& hints) {
+  CA_TRACE_SPAN("store.demote", "session", session);
   const auto it = records_.find(session);
   if (it == records_.end()) {
     return NotFoundError("session " + std::to_string(session));
@@ -764,5 +789,42 @@ std::vector<SessionId> AttentionStore::SessionsInTier(Tier tier) const {
 }
 
 void AttentionStore::EraseRecord(SessionId session) { records_.erase(session); }
+
+void AttentionStore::PublishMetrics(MetricsRegistry* registry) const {
+  MetricsRegistry& reg = registry != nullptr ? *registry : MetricsRegistry::Global();
+  const auto gauge = [&reg](std::string_view name, double v) { reg.GetGauge(name).Set(v); };
+  gauge("store_stats.lookups", static_cast<double>(stats_.lookups));
+  gauge("store_stats.misses", static_cast<double>(stats_.misses));
+  gauge("store_stats.inserts", static_cast<double>(stats_.inserts));
+  gauge("store_stats.updates", static_cast<double>(stats_.updates));
+  gauge("store_stats.demotions", static_cast<double>(stats_.demotions));
+  gauge("store_stats.promotions", static_cast<double>(stats_.promotions));
+  gauge("store_stats.evictions_out", static_cast<double>(stats_.evictions_out));
+  gauge("store_stats.ttl_expirations", static_cast<double>(stats_.ttl_expirations));
+  gauge("store_stats.bytes_demoted", static_cast<double>(stats_.bytes_demoted));
+  gauge("store_stats.bytes_promoted", static_cast<double>(stats_.bytes_promoted));
+  gauge("store_stats.io_retries", static_cast<double>(stats_.io_retries));
+  gauge("store_stats.transient_io_faults", static_cast<double>(stats_.transient_io_faults));
+  gauge("store_stats.permanent_io_faults", static_cast<double>(stats_.permanent_io_faults));
+  gauge("store_stats.corrupt_payloads", static_cast<double>(stats_.corrupt_payloads));
+  gauge("store_stats.failed_puts", static_cast<double>(stats_.failed_puts));
+  gauge("store_stats.failed_reads", static_cast<double>(stats_.failed_reads));
+  gauge("store_stats.failed_moves", static_cast<double>(stats_.failed_moves));
+  gauge("store_stats.fault_evictions", static_cast<double>(stats_.fault_evictions));
+  gauge("store_stats.tiers_quarantined", static_cast<double>(stats_.tiers_quarantined));
+  gauge("store_stats.tiers_disabled", static_cast<double>(stats_.tiers_disabled));
+  reg.GetGauge("store_stats.hits", {{"tier", "HBM"}}).Set(static_cast<double>(stats_.hbm_hits));
+  reg.GetGauge("store_stats.hits", {{"tier", "DRAM"}})
+      .Set(static_cast<double>(stats_.dram_hits));
+  reg.GetGauge("store_stats.hits", {{"tier", "disk"}})
+      .Set(static_cast<double>(stats_.disk_hits));
+  for (const Tier tier : {Tier::kHbm, Tier::kDram, Tier::kDisk}) {
+    const MetricLabels labels = {{"tier", std::string(TierName(tier))}};
+    reg.GetGauge("store.used_bytes", labels).Set(static_cast<double>(UsedBytes(tier)));
+    reg.GetGauge("store.capacity_bytes", labels)
+        .Set(static_cast<double>(CapacityBytes(tier)));
+  }
+  reg.GetGauge("store.records").Set(static_cast<double>(RecordCount()));
+}
 
 }  // namespace ca

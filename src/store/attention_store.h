@@ -27,6 +27,7 @@
 
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
 #include "src/store/block_storage.h"
 #include "src/store/eviction_policy.h"
 #include "src/store/fault_injection.h"
@@ -186,6 +187,11 @@ class AttentionStore {
   // fires (see store_audit_test.cc). Never call outside tests.
   void CorruptUsedBytesForTesting(Tier tier, std::int64_t delta);
 
+  // Republishes the cumulative StoreStats into the metrics registry as
+  // "store_stats.*" gauges (DESIGN.md §11). The per-tier hit/miss counters
+  // ("store.hits{tier=...}", "store.misses") are maintained live.
+  void PublishMetrics(MetricsRegistry* registry = nullptr) const;
+
  private:
   struct KvRecord {
     SessionId session = kInvalidSession;
@@ -272,6 +278,11 @@ class AttentionStore {
   bool quarantine_pending_ = false;  // set by MarkQuarantined, cleared by PurgeQuarantined
   std::uint64_t next_insert_seq_ = 0;
   StoreStats stats_;
+
+  // Live registry handles, cached at construction (registration is a map
+  // lookup; Access is the store's hottest read path).
+  std::array<Counter*, kNumTiers> hit_counters_ = {nullptr, nullptr, nullptr};
+  Counter* miss_counter_ = nullptr;
 };
 
 }  // namespace ca

@@ -8,10 +8,12 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 
 namespace ca {
 
 Result<BlockExtent> PooledBlockStorage::Write(std::span<const std::uint8_t> bytes) {
+  CA_TRACE_SPAN("io.write", "medium", trace_medium_, "bytes", bytes.size());
   MutexLock lock(mutex_);
   const std::uint64_t n_blocks = allocator_.BlocksFor(bytes.size());
   CA_ASSIGN_OR_RETURN(std::vector<BlockId> blocks, allocator_.Allocate(n_blocks));
@@ -30,6 +32,7 @@ Result<BlockExtent> PooledBlockStorage::Write(std::span<const std::uint8_t> byte
 }
 
 Result<std::vector<std::uint8_t>> PooledBlockStorage::Read(const BlockExtent& extent) {
+  CA_TRACE_SPAN("io.read", "medium", trace_medium_, "bytes", extent.byte_length);
   MutexLock lock(mutex_);
   // A corrupted record can hand us an extent whose shape no longer matches
   // its byte length; that must surface as a handleable error (the store
@@ -110,7 +113,9 @@ Result<std::unique_ptr<FileBlockStorage>> FileBlockStorage::Open(std::string pat
 
 FileBlockStorage::FileBlockStorage(std::string path, int fd, std::uint64_t capacity_bytes,
                                    std::uint64_t block_bytes)
-    : PooledBlockStorage(capacity_bytes, block_bytes), path_(std::move(path)), fd_(fd) {}
+    : PooledBlockStorage(capacity_bytes, block_bytes), path_(std::move(path)), fd_(fd) {
+  trace_medium_ = "disk";
+}
 
 FileBlockStorage::~FileBlockStorage() {
   if (fd_ >= 0) {

@@ -101,6 +101,9 @@ class PooledBlockStorage : public BlockStorage {
 
   mutable Mutex mutex_;
   BlockAllocator allocator_ CA_GUARDED_BY(mutex_);
+  // Medium label on io.write/io.read trace spans; concrete backends override
+  // at construction (immutable afterwards).
+  const char* trace_medium_ = "mem";
 };
 
 class MemoryBlockStorage final : public PooledBlockStorage {

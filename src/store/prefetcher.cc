@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 
 namespace ca {
 
 PrefetchPlan Prefetcher::Plan(std::span<const SessionId> upcoming,
                               std::uint64_t avg_session_kv_bytes) const {
+  CA_TRACE_SPAN("prefetch.plan", "upcoming", upcoming.size());
   PrefetchPlan plan;
   if (avg_session_kv_bytes == 0) {
     return plan;
@@ -38,6 +40,7 @@ std::size_t Prefetcher::Execute(const PrefetchPlan& plan, SimTime now,
                                 const SchedulerHints& hints) {
   std::size_t promoted = 0;
   for (const SessionId session : plan.to_fetch) {
+    CA_TRACE_SPAN("prefetch.preload", "session", session);
     if (store_->Promote(session, now, hints).ok()) {
       ++promoted;
     }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/logging.h"
 #include "src/common/parallel_for.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
@@ -262,6 +263,100 @@ TEST(SamplesTest, EmptyIsZero) {
   EXPECT_EQ(s.count(), 0U);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.p50(), 0.0);
+}
+
+TEST(RunningStatTest, MergeEmptyIntoEmpty) {
+  RunningStat a;
+  RunningStat b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0U);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(RunningStatTest, MergeEmptyRhsIsNoOp) {
+  RunningStat a;
+  a.Add(3.0);
+  a.Add(5.0);
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2U);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(RunningStatTest, MergeIntoEmptyLhsCopiesRhs) {
+  RunningStat rhs;
+  rhs.Add(3.0);
+  rhs.Add(5.0);
+  RunningStat lhs;
+  lhs.Merge(rhs);
+  EXPECT_EQ(lhs.count(), 2U);
+  EXPECT_DOUBLE_EQ(lhs.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(lhs.sum(), 8.0);
+  EXPECT_DOUBLE_EQ(lhs.min(), 3.0);
+  EXPECT_DOUBLE_EQ(lhs.max(), 5.0);
+  EXPECT_NEAR(lhs.variance(), rhs.variance(), 1e-12);
+}
+
+TEST(SamplesTest, QuantileOnEmptySetIsZero) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 0.0);
+}
+
+TEST(SamplesTest, QuantileOnSingleElementIsThatElement) {
+  Samples s;
+  s.Add(42.0);
+  // Every quantile of a one-element set is the element itself, including the
+  // q=0 / q=1 edges (pos == 0, lo == hi == 0).
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 42.0);
+}
+
+TEST(SamplesTest, QuantileEdgesAreExactOrderStatistics) {
+  Samples s;
+  s.Add(7.0);
+  s.Add(-1.0);
+  // q=1 must hit the max exactly (pos == size-1, frac == 0 — no
+  // interpolation past the last order statistic).
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), -1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 3.0);
+}
+
+// --- Logging -------------------------------------------------------------
+
+// Regression test for the data race on Logger's level: set_min_level used to
+// be a plain (non-atomic) store racing every CA_LOG filter check from worker
+// threads. Runs under the `concurrency` label, so the TSan suite proves the
+// atomic accessors fixed it.
+TEST(LoggerTest, SetMinLevelRacesLoggingThreads) {
+  Logger& logger = Logger::Get();
+  const LogLevel before = logger.min_level();
+  std::atomic<bool> stop{false};
+  ThreadPool pool(4);
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Filtered out at every level this test cycles through: exercises
+        // the min_level() load without spamming test output.
+        CA_LOG(Debug) << "level probe";
+      }
+    });
+  }
+  for (int i = 0; i < 500; ++i) {
+    logger.set_min_level(i % 2 == 0 ? LogLevel::kWarn : LogLevel::kError);
+  }
+  stop.store(true);
+  pool.Wait();
+  logger.set_min_level(before);
+  SUCCEED();
 }
 
 TEST(HistogramTest, BucketsAndCdf) {

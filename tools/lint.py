@@ -21,6 +21,12 @@ into CTest as the `lint` test. Rules (see tools/README.md for rationale):
                  cache miss (return the Status), never abort the serving
                  process (DESIGN.md §10). CA_CHECK on non-Status invariants
                  is unaffected.
+  no-raw-clock   no raw std::chrono clock reads (steady_clock, system_clock,
+                 high_resolution_clock) in src/store and src/core: timing
+                 there must go through ca::TraceNowNs (src/obs/trace.h) so
+                 engine/store timestamps land on the same timeline as the
+                 trace spans (DESIGN.md §11). sleep_for with a plain duration
+                 is fine; src/obs itself owns the clock.
 
 A line containing `NOLINT` is exempt from content rules (used for the one
 deliberate leaky-singleton allocation).
@@ -149,6 +155,14 @@ def check_content_rules(rel: pathlib.PurePath, text: str) -> List[Violation]:
             violations.append(
                 Violation(str(rel), lineno, "no-assert",
                           "use CA_CHECK (stays on in release) instead of assert")
+            )
+        if is_io_path and re.search(
+            r"\b(steady_clock|system_clock|high_resolution_clock)\b", code_line
+        ):
+            violations.append(
+                Violation(str(rel), lineno, "no-raw-clock",
+                          "use ca::TraceNowNs (src/obs/trace.h) so timestamps "
+                          "share the trace timeline; see DESIGN.md §11")
             )
         if is_io_path and (
             re.search(r"\bCA_CHECK_OK\s*\(", code_line)

@@ -120,6 +120,40 @@ class LintTest(unittest.TestCase):
                    "void F() { CA_CHECK(extent.ok()); }  // NOLINT(check-on-status)\n")
         self.assertNotIn("check-on-status", self.rules())
 
+    def test_raw_clock_fails_in_store(self):
+        self.write(
+            "widget.cc",
+            "void F() { auto t = std::chrono::steady_clock::now(); (void)t; }\n",
+        )
+        self.assertIn("no-raw-clock", self.rules())
+
+    def test_raw_clock_fails_on_system_clock(self):
+        self.write(
+            "widget.cc",
+            "void F() { auto t = std::chrono::system_clock::now(); (void)t; }\n",
+        )
+        self.assertIn("no-raw-clock", self.rules())
+
+    def test_raw_clock_ignored_outside_io_path(self):
+        model = self.root / "src" / "model"
+        model.mkdir()
+        (model / "layer.cc").write_text(
+            "void F() { auto t = std::chrono::steady_clock::now(); (void)t; }\n"
+        )
+        (model / "CMakeLists.txt").write_text("add_library(ca_model layer.cc)\n")
+        self.assertNotIn("no-raw-clock", self.rules())
+
+    def test_sleep_for_duration_ok(self):
+        self.write(
+            "widget.cc",
+            "void F() { std::this_thread::sleep_for(std::chrono::microseconds(5)); }\n",
+        )
+        self.assertNotIn("no-raw-clock", self.rules())
+
+    def test_raw_clock_in_comment_ok(self):
+        self.write("widget.cc", "void F() {}  // steady_clock is banned here\n")
+        self.assertNotIn("no-raw-clock", self.rules())
+
     def test_guard_derivation(self):
         self.assertEqual(
             lint.expected_guard(pathlib.PurePath("src/common/thread_pool.h")),
