@@ -161,7 +161,7 @@ Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& stat
           }
         }
         if (!loaded_cache.has_value()) {
-          ++stats_.cache_load_faults;
+          result.cache_load_fault = true;
           load_fault_counter_->Add();
           CA_TRACE_INSTANT("engine.cache_load_fault", "session", session);
           recompute = true;
@@ -238,14 +238,7 @@ Result<Tensor> CachedAttentionEngine::ForwardTurn(SessionId session,
     SaveCache(session, cache);
   }
 
-  stats_.turns += 1;
-  stats_.prompt_tokens += result.prompt_tokens;
-  stats_.computed_tokens += result.computed_tokens;
-  stats_.reused_tokens += result.reused_tokens;
-  stats_.truncations += result.truncated ? 1 : 0;
-  stats_.prefill_seconds += result.prefill_seconds;
-  turns_counter_->Add();
-  prefill_seconds_hist_->Observe(result.prefill_seconds);
+  AccumulateTurnStats(result);
   return logits;
 }
 
@@ -320,16 +313,29 @@ Result<TurnResult> CachedAttentionEngine::Converse(SessionId session,
     SaveCache(session, cache);
   }
 
-  stats_.turns += 1;
-  stats_.prompt_tokens += result.prompt_tokens;
-  stats_.computed_tokens += result.computed_tokens;
-  stats_.reused_tokens += result.reused_tokens;
-  stats_.truncations += result.truncated ? 1 : 0;
-  stats_.compressed_tokens += result.compressed_tokens;
-  stats_.prefill_seconds += result.prefill_seconds;
+  AccumulateTurnStats(result);
+  return result;
+}
+
+void CachedAttentionEngine::AccumulateTurnStats(const TurnResult& result) {
+  {
+    MutexLock lock(mutex_);
+    stats_.turns += 1;
+    stats_.prompt_tokens += result.prompt_tokens;
+    stats_.computed_tokens += result.computed_tokens;
+    stats_.reused_tokens += result.reused_tokens;
+    stats_.truncations += result.truncated ? 1 : 0;
+    stats_.compressed_tokens += result.compressed_tokens;
+    stats_.cache_load_faults += result.cache_load_fault ? 1 : 0;
+    stats_.prefill_seconds += result.prefill_seconds;
+  }
   turns_counter_->Add();
   prefill_seconds_hist_->Observe(result.prefill_seconds);
-  return result;
+}
+
+EngineStats CachedAttentionEngine::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
 }
 
 std::size_t CachedAttentionEngine::MaybeCompress(SessionState& state, KvCache& cache,
@@ -444,9 +450,6 @@ void CachedAttentionEngine::PublishMetrics(MetricsRegistry* registry) const {
   EngineStats snapshot;
   {
     MutexLock lock(mutex_);
-    // stats_ is owned by the serving thread; PublishMetrics is documented
-    // quiescent-only, so reading it here is stale at worst, not racy in a
-    // way that matters (all fields are plain loads of settled values).
     snapshot = stats_;
     store_.PublishMetrics(&reg);
   }

@@ -80,6 +80,9 @@ struct TurnResult {
   bool cache_hit = false;
   Tier hit_tier = Tier::kNone;
   bool truncated = false;
+  // A saved KV cache failed to load (I/O fault, corruption, poisoned
+  // payload) and the turn degraded to a full recompute (DESIGN.md §10).
+  bool cache_load_fault = false;
   double prefill_seconds = 0.0;       // wall-clock prefill (TTFT proxy)
 };
 
@@ -115,7 +118,11 @@ class CachedAttentionEngine {
 
   const Transformer& model() const { return *model_; }
   const EngineOptions& options() const { return options_; }
-  const EngineStats& stats() const { return stats_; }
+  // Point-in-time snapshot of the cumulative stats. Safe to call from any
+  // thread, including while other threads are inside Converse/ForwardTurn
+  // (accumulation happens under the engine mutex — see the stats_ contract
+  // note below).
+  EngineStats stats() const CA_EXCLUDES(mutex_);
   // Quiescent introspection only: callers must Flush() first and must not
   // race with Converse/ForwardTurn, since the returned reference bypasses
   // the engine mutex that guards the store during serving.
@@ -123,6 +130,13 @@ class CachedAttentionEngine {
 
   // Serves one conversation turn: appends `user_tokens`, decodes up to
   // `max_reply_tokens` greedily, persists the KV cache for the next turn.
+  //
+  // Concurrency contract: any number of threads may call Converse (or
+  // ForwardTurn) concurrently as long as no two of them serve the *same*
+  // session at the same time — per-session state is mutated lock-free by
+  // the serving thread, while everything cross-session (store, pending
+  // saves, hints, cumulative stats) is guarded by the engine mutex. The
+  // serving runtime (src/serve) enforces the per-session exclusivity.
   Result<TurnResult> Converse(SessionId session, std::span<const TokenId> user_tokens,
                               std::size_t max_reply_tokens);
 
@@ -176,6 +190,13 @@ class CachedAttentionEngine {
   std::size_t MaybeCompress(SessionState& state, KvCache& cache,
                             std::span<const float> importance);
 
+  // Single accumulation point for the per-turn counters (Converse and
+  // ForwardTurn both funnel through here, so no field — compressed_tokens
+  // included — can silently diverge between the two paths) and the live
+  // registry handles. Locks the engine mutex: turns finishing on different
+  // worker threads serialize their accounting here.
+  void AccumulateTurnStats(const TurnResult& result) CA_EXCLUDES(mutex_);
+
   void SaveCache(SessionId session, const KvCache& cache) CA_EXCLUDES(mutex_);
   void WaitForPendingSave(SessionId session) CA_EXCLUDES(mutex_);
   SchedulerHints CurrentHintsLocked() const CA_REQUIRES(mutex_);
@@ -200,9 +221,12 @@ class CachedAttentionEngine {
   std::vector<SessionId> queue_hint_ CA_GUARDED_BY(mutex_);
   std::unique_ptr<ThreadPool> write_stream_;  // non-null iff async_save
 
-  // Turn accounting; written only by the serving thread (never by the write
-  // stream), so it needs no lock.
-  EngineStats stats_;
+  // Turn accounting. Contract change (serving-runtime PR): Converse may run
+  // on many worker threads concurrently, so accumulation happens under
+  // mutex_ via AccumulateTurnStats and readers get a snapshot through
+  // stats(). The old "written only by the serving thread" assumption was a
+  // data race the header merely asserted away.
+  EngineStats stats_ CA_GUARDED_BY(mutex_);
 
   // Live metrics handles (global registry; cached here because registration
   // is a map lookup — DESIGN.md §11).

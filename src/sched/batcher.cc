@@ -1,5 +1,7 @@
 #include "src/sched/batcher.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -19,23 +21,31 @@ ContinuousBatcher::ContinuousBatcher(std::size_t max_batch) : max_batch_(max_bat
   CA_CHECK_GT(max_batch, 0U);
 }
 
-void ContinuousBatcher::Admit(const Job& job, std::uint32_t remaining) {
-  CA_CHECK(HasSlot()) << "batch full";
+bool ContinuousBatcher::TryAdmit(const Job& job, std::uint32_t remaining) {
+  if (!HasSlot()) {
+    return false;
+  }
   CA_CHECK_EQ(active_.count(job.id), 0U) << "job " << job.id << " already active";
   CA_TRACE_INSTANT("sched.batch_admit", "job", job.id, "session", job.session);
-  active_.emplace(job.id, Slot{.job = job, .remaining = remaining});
+  active_.emplace(job.id,
+                  Slot{.job = job, .remaining = remaining, .admitted_seq = next_seq_++});
   ActiveGauge().Set(static_cast<double>(active_.size()));
+  return true;
+}
+
+void ContinuousBatcher::Admit(const Job& job, std::uint32_t remaining) {
+  CA_CHECK(TryAdmit(job, remaining)) << "batch full";
 }
 
 std::vector<Job> ContinuousBatcher::StepIteration() {
-  std::vector<Job> done;
+  std::vector<std::pair<std::uint64_t, Job>> done;
   for (auto it = active_.begin(); it != active_.end();) {
     Slot& slot = it->second;
     if (slot.remaining > 0) {
       --slot.remaining;
     }
     if (slot.remaining == 0) {
-      done.push_back(slot.job);
+      done.emplace_back(slot.admitted_seq, slot.job);
       it = active_.erase(it);
     } else {
       ++it;
@@ -44,13 +54,26 @@ std::vector<Job> ContinuousBatcher::StepIteration() {
   if (!done.empty()) {
     ActiveGauge().Set(static_cast<double>(active_.size()));
   }
-  return done;
+  std::sort(done.begin(), done.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Job> out;
+  out.reserve(done.size());
+  for (auto& [seq, job] : done) {
+    out.push_back(job);
+  }
+  return out;
 }
 
 std::vector<JobId> ContinuousBatcher::ActiveJobs() const {
-  std::vector<JobId> out;
-  out.reserve(active_.size());
+  std::vector<std::pair<std::uint64_t, JobId>> order;
+  order.reserve(active_.size());
   for (const auto& [id, slot] : active_) {
+    order.emplace_back(slot.admitted_seq, id);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<JobId> out;
+  out.reserve(order.size());
+  for (const auto& [seq, id] : order) {
     out.push_back(id);
   }
   return out;

@@ -1,10 +1,16 @@
 // Continuous batching bookkeeping (Orca-style, §4.1 "Continuous batching is
 // enabled through experiments"): a worker holds up to `max_batch` jobs; jobs
 // join as slots free up and leave individually when their decode finishes.
+//
+// Completion and listing order are deterministic (admission order), so
+// serving traces and multi-worker replays are reproducible across
+// platforms/libc++s — the internal unordered_map's iteration order never
+// leaks out.
 #ifndef CA_SCHED_BATCHER_H_
 #define CA_SCHED_BATCHER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -22,23 +28,34 @@ class ContinuousBatcher {
   bool HasSlot() const { return active_.size() < max_batch_; }
   bool empty() const { return active_.empty(); }
 
-  // Admits a job with `remaining` decode iterations left.
+  // Admits a job with `remaining` decode iterations left; returns false when
+  // the batch is full (the caller sheds load or leaves the job queued — an
+  // overloaded server must never abort). Admitting a job that is already
+  // active is a programming error and still CA_CHECKs.
+  bool TryAdmit(const Job& job, std::uint32_t remaining);
+
+  // Checked convenience over TryAdmit: aborts when the batch is full. Only
+  // for callers that have verified HasSlot() (e.g. the simulator's paced
+  // admission); serving paths use TryAdmit.
   void Admit(const Job& job, std::uint32_t remaining);
 
   // Advances every active job by one decode iteration; returns the jobs that
-  // completed (and releases their slots).
+  // completed, in admission order (and releases their slots).
   std::vector<Job> StepIteration();
 
-  // Jobs currently decoding.
+  // Jobs currently decoding, in admission order.
   std::vector<JobId> ActiveJobs() const;
 
  private:
   struct Slot {
     Job job;
     std::uint32_t remaining = 0;
+    // Monotonic admission sequence number; orders completions and listings.
+    std::uint64_t admitted_seq = 0;
   };
 
   std::size_t max_batch_;
+  std::uint64_t next_seq_ = 0;
   std::unordered_map<JobId, Slot> active_;
 };
 

@@ -28,6 +28,34 @@ std::optional<Job> JobQueue::Pop() {
   return job;
 }
 
+std::optional<Job> JobQueue::PopFirstRunnable(
+    const std::function<bool(const Job&)>& runnable) {
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (!runnable(jobs_[i])) {
+      continue;
+    }
+    Job job = jobs_[i];
+    jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
+    const std::uint64_t queued_at = enqueue_ns_[i];
+    enqueue_ns_.erase(enqueue_ns_.begin() + static_cast<std::ptrdiff_t>(i));
+    const double waited = static_cast<double>(TraceNowNs() - queued_at) * 1e-9;
+    wait_hist_->Observe(waited);
+    depth_gauge_->Set(static_cast<double>(jobs_.size()));
+    CA_TRACE_INSTANT("sched.dequeue", "job", job.id, "session", job.session);
+    return job;
+  }
+  return std::nullopt;
+}
+
+bool JobQueue::HasRunnable(const std::function<bool(const Job&)>& runnable) const {
+  for (const Job& job : jobs_) {
+    if (runnable(job)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 const Job* JobQueue::Peek() const { return jobs_.empty() ? nullptr : &jobs_.front(); }
 
 std::vector<SessionId> JobQueue::SessionSnapshot() const {
@@ -35,6 +63,16 @@ std::vector<SessionId> JobQueue::SessionSnapshot() const {
   out.reserve(jobs_.size());
   for (const Job& j : jobs_) {
     out.push_back(j.session);
+  }
+  return out;
+}
+
+std::vector<SessionId> JobQueue::WindowSnapshot(std::size_t window_len) const {
+  std::vector<SessionId> out;
+  const std::size_t n = std::min(window_len, jobs_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(jobs_[i].session);
   }
   return out;
 }

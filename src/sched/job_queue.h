@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -25,12 +26,29 @@ class JobQueue {
   // Pops the head job (FIFO order).
   std::optional<Job> Pop();
 
+  // Pops the first job (scanning from the head) for which `runnable` returns
+  // true; the relative order of the remaining jobs is preserved. Because the
+  // scan starts at the head, the popped job is always the *earliest* waiting
+  // job of its session — which is what lets a multi-worker serving loop skip
+  // sessions that are already being served without ever reordering two jobs
+  // of the same session (per-session FIFO).
+  std::optional<Job> PopFirstRunnable(const std::function<bool(const Job&)>& runnable);
+
+  // True when PopFirstRunnable would succeed (same head-first scan, no pop).
+  bool HasRunnable(const std::function<bool(const Job&)>& runnable) const;
+
   const Job* Peek() const;
   std::size_t size() const { return jobs_.size(); }
   bool empty() const { return jobs_.empty(); }
 
   // Session of every waiting job, head first (the look-ahead view).
   std::vector<SessionId> SessionSnapshot() const;
+
+  // Sessions of the first `window_len` waiting jobs, head first — the
+  // look-ahead window a serving loop republishes into the engine
+  // (CachedAttentionEngine::SetQueueHint) and feeds to the §3.3.1
+  // prefetcher. HintsForWindow(n) == BuildHints(WindowSnapshot(n), n).
+  std::vector<SessionId> WindowSnapshot(std::size_t window_len) const;
 
   // Hints over the first `window_len` waiting jobs (look-ahead eviction
   // window). Sessions keep their earliest queue position.

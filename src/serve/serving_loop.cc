@@ -1,0 +1,267 @@
+#include "src/serve/serving_loop.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/obs/trace.h"
+
+namespace ca {
+
+ServingLoop::ServingLoop(CachedAttentionEngine* engine, ServerOptions options)
+    : engine_(engine), options_(options) {
+  CA_CHECK(engine_ != nullptr);
+  CA_CHECK_GT(options_.num_workers, 0U);
+  CA_CHECK_GT(options_.max_batch_per_worker, 0U);
+  auto& registry = MetricsRegistry::Global();
+  accepted_counter_ = &registry.GetCounter("serve.jobs_accepted");
+  rejected_counter_ = &registry.GetCounter("serve.jobs_rejected");
+  completed_counter_ = &registry.GetCounter("serve.jobs_completed");
+  failed_counter_ = &registry.GetCounter("serve.jobs_failed");
+  turn_seconds_hist_ = &registry.GetHistogram("serve.turn_seconds");
+  inflight_gauge_ = &registry.GetGauge("serve.sessions_in_flight");
+  workers_.reserve(options_.num_workers);
+  for (std::size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  refresh_thread_ = std::thread([this] { RefreshLoop(); });
+}
+
+ServingLoop::~ServingLoop() { Shutdown(); }
+
+JobId ServingLoop::EnqueueLocked(ServeRequest&& request) {
+  const JobId id = next_job_id_++;
+  Job job;
+  job.id = id;
+  job.session = request.session;
+  job.arrival = static_cast<SimTime>(TraceNowNs());
+  job.turn_index = ++turns_submitted_[request.session];
+  job.new_tokens = static_cast<std::uint32_t>(request.input.size());
+  job.decode_tokens = static_cast<std::uint32_t>(request.max_reply_tokens);
+  payloads_.emplace(id, std::move(request));
+  queue_.Push(job);
+  ++accepted_;
+  accepted_counter_->Add();
+  return id;
+}
+
+JobId ServingLoop::Submit(ServeRequest request) {
+  CA_CHECK(!request.input.empty()) << "empty turn input";
+  JobId id;
+  {
+    MutexLock lock(mutex_);
+    CA_CHECK(accepting_) << "Submit after Shutdown";
+    id = EnqueueLocked(std::move(request));
+  }
+  work_available_.NotifyOne();
+  return id;
+}
+
+std::optional<JobId> ServingLoop::TrySubmit(ServeRequest request) {
+  if (request.input.empty()) {
+    rejected_counter_->Add();
+    return std::nullopt;
+  }
+  JobId id;
+  {
+    MutexLock lock(mutex_);
+    const bool over_depth =
+        options_.max_queue_depth > 0 && queue_.size() >= options_.max_queue_depth;
+    if (!accepting_ || over_depth) {
+      rejected_counter_->Add();
+      CA_TRACE_INSTANT("serve.shed", "session", request.session, "depth",
+                       queue_.size());
+      return std::nullopt;
+    }
+    id = EnqueueLocked(std::move(request));
+  }
+  work_available_.NotifyOne();
+  return id;
+}
+
+void ServingLoop::WorkerLoop(std::size_t worker_index) {
+  Tracer::Get().SetThreadName("serve-worker-" + std::to_string(worker_index));
+  ContinuousBatcher batcher(options_.max_batch_per_worker);
+  for (;;) {
+    // One round: admit every runnable job the batch has room for.
+    std::vector<std::pair<Job, ServeRequest>> round;
+    {
+      MutexLock lock(mutex_);
+      work_available_.Wait(mutex_, [this] {
+        mutex_.AssertHeld();
+        if (stopping_ && queue_.empty()) {
+          return true;
+        }
+        return queue_.HasRunnable([this](const Job& j) {
+          mutex_.AssertHeld();
+          return in_flight_sessions_.count(j.session) == 0;
+        });
+      });
+      if (stopping_ && queue_.empty()) {
+        CA_CHECK(batcher.empty());
+        return;
+      }
+      while (batcher.HasSlot()) {
+        std::optional<Job> job = queue_.PopFirstRunnable([this](const Job& j) {
+          mutex_.AssertHeld();
+          return in_flight_sessions_.count(j.session) == 0;
+        });
+        if (!job.has_value()) {
+          break;
+        }
+        // Marking the session in flight *inside* the scan loop makes a
+        // second queued job of the same session non-runnable immediately,
+        // so one round can never hold two turns of one conversation.
+        in_flight_sessions_.insert(job->session);
+        auto payload_it = payloads_.find(job->id);
+        CA_CHECK(payload_it != payloads_.end());
+        const bool admitted = batcher.TryAdmit(*job, /*remaining=*/1);
+        CA_CHECK(admitted);  // HasSlot() held the loop open
+        round.emplace_back(*job, std::move(payload_it->second));
+        payloads_.erase(payload_it);
+      }
+      inflight_gauge_->Set(static_cast<double>(in_flight_sessions_.size()));
+    }
+    if (round.empty()) {
+      continue;  // another worker won the race; wait again
+    }
+    {
+      // Serve the batch in admission order; each job's turn runs end to end
+      // on this worker (the real path batches at turn granularity — see
+      // DESIGN.md §12 — while the simulator models per-token iteration).
+      CA_TRACE_SPAN("serve.batch", "worker", worker_index, "jobs", round.size());
+      for (auto& [job, request] : round) {
+        ServeJob(job, std::move(request));
+      }
+    }
+    const std::vector<Job> retired = batcher.StepIteration();
+    CA_CHECK_EQ(retired.size(), round.size());
+    for (std::size_t i = 0; i < retired.size(); ++i) {
+      // StepIteration's admission-order contract is what keeps serving
+      // traces deterministic; hold it to the jobs we actually served.
+      CA_CHECK_EQ(retired[i].id, round[i].first.id);
+    }
+  }
+}
+
+void ServingLoop::ServeJob(const Job& job, ServeRequest request) {
+  ServeReply reply;
+  reply.job = job.id;
+  reply.session = job.session;
+  reply.turn_index = job.turn_index;
+  const std::uint64_t start_ns = TraceNowNs();
+  {
+    CA_TRACE_SPAN("serve.turn", "job", job.id, "session", job.session, "turn",
+                  job.turn_index);
+    Result<TurnResult> result =
+        engine_->Converse(job.session, request.input, request.max_reply_tokens);
+    if (result.ok()) {
+      reply.turn = std::move(*result);
+    } else {
+      reply.status = result.status();
+      failed_counter_->Add();
+    }
+  }
+  turn_seconds_hist_->Observe(static_cast<double>(TraceNowNs() - start_ns) * 1e-9);
+  completed_counter_->Add();
+  {
+    MutexLock lock(mutex_);
+    in_flight_sessions_.erase(job.session);
+    inflight_gauge_->Set(static_cast<double>(in_flight_sessions_.size()));
+    replies_.push_back(std::move(reply));
+    ++completed_;
+  }
+  // Freeing the session may make its next queued turn runnable on any
+  // worker; the last completion also releases WaitIdle/Shutdown waiters.
+  work_available_.NotifyAll();
+  idle_.NotifyAll();
+}
+
+void ServingLoop::RefreshLoop() {
+  Tracer::Get().SetThreadName("serve-refresh");
+  while (!refresh_stop_.load(std::memory_order_acquire)) {
+    std::vector<SessionId> window;
+    {
+      MutexLock lock(mutex_);
+      window = queue_.WindowSnapshot(options_.hint_window);
+    }
+    std::size_t promoted = 0;
+    if (!window.empty()) {
+      CA_TRACE_SPAN("serve.refresh", "window", window.size());
+      // Republish the look-ahead window (JobQueue::HintsForWindow's view)
+      // so the store's scheduler-aware eviction sees the live queue, then
+      // drive §3.3.1 promotion over the same window. The engine mutex is
+      // free during the workers' prefill/decode, so this I/O overlaps
+      // their compute.
+      engine_->SetQueueHint(window);
+      if (options_.prefetch) {
+        promoted = engine_->PrefetchSessions(window);
+      }
+    }
+    if (promoted == 0) {
+      // Nothing promoted (or nothing queued): idle-pace the loop.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.refresh_interval_us));
+    }
+  }
+}
+
+void ServingLoop::WaitIdle() {
+  MutexLock lock(mutex_);
+  idle_.Wait(mutex_, [this] {
+    mutex_.AssertHeld();
+    return completed_ == accepted_;
+  });
+}
+
+void ServingLoop::Shutdown() {
+  if (joined_) {
+    return;
+  }
+  {
+    MutexLock lock(mutex_);
+    accepting_ = false;
+    stopping_ = true;
+  }
+  work_available_.NotifyAll();
+  {
+    MutexLock lock(mutex_);
+    idle_.Wait(mutex_, [this] {
+      mutex_.AssertHeld();
+      return completed_ == accepted_;
+    });
+  }
+  // Every job is done and the queue is empty: wake any worker still parked
+  // so it observes (stopping_ && empty) and exits.
+  work_available_.NotifyAll();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  refresh_stop_.store(true, std::memory_order_release);
+  refresh_thread_.join();
+  engine_->Flush();
+  joined_ = true;
+}
+
+std::vector<ServeReply> ServingLoop::TakeReplies() {
+  MutexLock lock(mutex_);
+  std::vector<ServeReply> out = std::move(replies_);
+  replies_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const ServeReply& a, const ServeReply& b) { return a.job < b.job; });
+  return out;
+}
+
+std::size_t ServingLoop::queue_depth() const {
+  MutexLock lock(mutex_);
+  return queue_.size();
+}
+
+bool ServingLoop::accepting() const {
+  MutexLock lock(mutex_);
+  return accepting_;
+}
+
+}  // namespace ca

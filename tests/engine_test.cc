@@ -3,6 +3,8 @@
 // spill with real payloads, async saving, and session lifecycle.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -249,7 +251,7 @@ TEST_F(EngineTest, StatsAccumulate) {
   const std::size_t vocab = model_.config().vocab_size;
   ASSERT_TRUE(engine.Converse(1, MakeTokens(10, 1, vocab), 5).ok());
   ASSERT_TRUE(engine.Converse(1, MakeTokens(10, 2, vocab), 5).ok());
-  const EngineStats& stats = engine.stats();
+  const EngineStats stats = engine.stats();
   EXPECT_EQ(stats.turns, 2ULL);
   EXPECT_GT(stats.prefill_seconds, 0.0);
   EXPECT_EQ(stats.prompt_tokens, 10ULL + 25ULL);
@@ -277,6 +279,57 @@ TEST_F(EngineTest, QueueHintProtectsUpcomingSession) {
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->cache_hit);
   EXPECT_EQ(r->hit_tier, Tier::kDram);
+}
+
+// TSan regression for the stats_ data race: N threads conversing on N
+// *distinct* sessions is the documented concurrency contract, and before
+// the AccumulateTurnStats fix every one of them bumped the unguarded
+// EngineStats counters. Replies must also match a serial engine's (the
+// sessions are independent, so interleaving changes nothing).
+TEST_F(EngineTest, ConcurrentConverseOnDistinctSessions) {
+  EngineOptions options = DefaultOptions();
+  options.async_save = true;  // exercise the write stream too
+  CachedAttentionEngine engine(&model_, options);
+  constexpr int kThreads = 4;
+  constexpr int kTurns = 3;
+  const std::size_t vocab = model_.config().vocab_size;
+  std::atomic<int> failures{0};
+  std::vector<std::vector<std::vector<TokenId>>> replies(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int turn = 0; turn < kTurns; ++turn) {
+        const auto input = MakeTokens(8, 1000 + t * 100 + turn, vocab);
+        auto r = engine.Converse(static_cast<SessionId>(500 + t), input, 4);
+        if (!r.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        replies[t].push_back(r->reply);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  engine.Flush();
+  ASSERT_EQ(failures.load(), 0);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.turns, static_cast<std::uint64_t>(kThreads * kTurns));
+  EXPECT_GT(stats.reused_tokens, 0ULL);
+
+  // Serial reference: same per-session inputs, one thread.
+  CachedAttentionEngine serial(&model_, DefaultOptions());
+  for (int t = 0; t < kThreads; ++t) {
+    for (int turn = 0; turn < kTurns; ++turn) {
+      const auto input = MakeTokens(8, 1000 + t * 100 + turn, vocab);
+      auto r = serial.Converse(static_cast<SessionId>(500 + t), input, 4);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r->reply, replies[t][static_cast<std::size_t>(turn)])
+          << "thread " << t << " turn " << turn;
+    }
+  }
 }
 
 TEST_F(EngineTest, CompressionAndTruncationCompose) {

@@ -102,6 +102,80 @@ TEST(BatcherTest, ActiveJobsLists) {
   EXPECT_EQ(active[0], 7ULL);
 }
 
+TEST(BatcherTest, TryAdmitShedsWhenFullInsteadOfAborting) {
+  ContinuousBatcher batcher(1);
+  EXPECT_TRUE(batcher.TryAdmit(MakeJob(1, 10), 2));
+  EXPECT_FALSE(batcher.TryAdmit(MakeJob(2, 11), 1));  // full: shed, don't die
+  EXPECT_EQ(batcher.active(), 1U);
+  (void)batcher.StepIteration();  // job 1: 1 iteration left
+  auto done = batcher.StepIteration();
+  ASSERT_EQ(done.size(), 1U);
+  EXPECT_EQ(done[0].id, 1ULL);
+  EXPECT_TRUE(batcher.TryAdmit(MakeJob(2, 11), 1));  // slot freed
+}
+
+TEST(BatcherTest, StepCompletesInAdmissionOrder) {
+  // Ids chosen to scramble under typical unordered_map hashing; the batcher
+  // must return completions in admission order regardless.
+  ContinuousBatcher batcher(8);
+  const std::vector<JobId> admitted = {23, 7, 101, 4, 55};
+  for (const JobId id : admitted) {
+    batcher.Admit(MakeJob(id, 10 + id), 1);
+  }
+  const auto done = batcher.StepIteration();
+  ASSERT_EQ(done.size(), admitted.size());
+  for (std::size_t i = 0; i < admitted.size(); ++i) {
+    EXPECT_EQ(done[i].id, admitted[i]) << "completion " << i;
+  }
+}
+
+TEST(BatcherTest, ActiveJobsListsInAdmissionOrder) {
+  ContinuousBatcher batcher(8);
+  const std::vector<JobId> admitted = {42, 3, 77, 12};
+  for (const JobId id : admitted) {
+    batcher.Admit(MakeJob(id, 10 + id), 2);
+  }
+  EXPECT_EQ(batcher.ActiveJobs(), admitted);
+  // Completion frees a slot; re-admission goes to the back of the order.
+  (void)batcher.StepIteration();
+  (void)batcher.StepIteration();
+  EXPECT_TRUE(batcher.empty());
+  batcher.Admit(MakeJob(3, 13), 1);
+  batcher.Admit(MakeJob(42, 52), 1);
+  EXPECT_EQ(batcher.ActiveJobs(), (std::vector<JobId>{3, 42}));
+}
+
+TEST(JobQueueTest, PopFirstRunnableSkipsBlockedSessions) {
+  JobQueue q;
+  q.Push(MakeJob(1, 5));  // session 5, earliest
+  q.Push(MakeJob(2, 6));
+  q.Push(MakeJob(3, 5));  // session 5 again
+  // Session 5 "in flight": the earliest runnable job is job 2.
+  const auto not5 = [](const Job& j) { return j.session != 5; };
+  auto job = q.PopFirstRunnable(not5);
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->id, 2ULL);
+  // Remaining jobs keep queue order, so session 5's jobs pop FIFO.
+  EXPECT_FALSE(q.HasRunnable(not5));
+  auto j1 = q.PopFirstRunnable([](const Job&) { return true; });
+  auto j3 = q.PopFirstRunnable([](const Job&) { return true; });
+  ASSERT_TRUE(j1.has_value());
+  ASSERT_TRUE(j3.has_value());
+  EXPECT_EQ(j1->id, 1ULL);
+  EXPECT_EQ(j3->id, 3ULL);
+  EXPECT_FALSE(q.PopFirstRunnable([](const Job&) { return true; }).has_value());
+}
+
+TEST(JobQueueTest, WindowSnapshotTruncatesHeadFirst) {
+  JobQueue q;
+  q.Push(MakeJob(1, 30));
+  q.Push(MakeJob(2, 20));
+  q.Push(MakeJob(3, 10));
+  EXPECT_EQ(q.WindowSnapshot(2), (std::vector<SessionId>{30, 20}));
+  EXPECT_EQ(q.WindowSnapshot(9), (std::vector<SessionId>{30, 20, 10}));
+  EXPECT_TRUE(q.WindowSnapshot(0).empty());
+}
+
 TEST(BatcherDeathTest, OverfullAborts) {
   ContinuousBatcher batcher(1);
   batcher.Admit(MakeJob(1, 10), 1);
