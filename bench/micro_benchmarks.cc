@@ -8,6 +8,7 @@
 // benchmarks".
 #include <benchmark/benchmark.h>
 
+#include "src/common/mutex.h"
 #include "src/model/transformer.h"
 #include "src/store/attention_store.h"
 #include "src/store/block_allocator.h"
@@ -238,6 +239,38 @@ void BM_MetricsHistogramObserve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MetricsHistogramObserve);
+
+// Lock-order detector overhead (DESIGN.md §13). The disabled case is the
+// contract: every Mutex::Lock in the codebase pays it unconditionally, so
+// it must stay at one relaxed atomic load plus an untaken branch over a
+// plain lock/unlock. Registered before BM_MutexLockDetectEnabled on
+// purpose: enabling detection latches release-path bookkeeping on for the
+// rest of the process (see g_deadlock_seen in src/common/mutex.h), so the
+// disabled measurement must run first.
+void BM_MutexLockDetectDisabled(benchmark::State& state) {
+  SetDeadlockDetectEnabled(false);
+  Mutex outer("bench.outer");
+  Mutex inner("bench.inner");
+  for (auto _ : state) {
+    MutexLock lo(outer);
+    MutexLock li(inner);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_MutexLockDetectDisabled);
+
+void BM_MutexLockDetectEnabled(benchmark::State& state) {
+  SetDeadlockDetectEnabled(true);
+  Mutex outer("bench.outer");
+  Mutex inner("bench.inner");
+  for (auto _ : state) {
+    MutexLock lo(outer);
+    MutexLock li(inner);
+  }
+  SetDeadlockDetectEnabled(false);
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_MutexLockDetectEnabled);
 
 }  // namespace
 }  // namespace ca

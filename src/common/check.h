@@ -45,7 +45,7 @@ class CheckMessageBuilder {
 
 #define CA_CHECK(cond)                                                       \
   if (cond) {                                                                \
-  } else /* NOLINT */                                                        \
+  } else /* NOLINT(readability-braces-around-statements) */                                                        \
     ::ca::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
 
 #define CA_CHECK_EQ(a, b) CA_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b) << " "

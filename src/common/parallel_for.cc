@@ -5,7 +5,9 @@
 #include <memory>
 
 #include "src/common/mutex.h"
-#include "src/obs/trace.h"  // header-only: no ca_common -> ca_obs link edge
+// NOLINT(include-layering): deliberate back-edge — trace.h is header-only,
+// so chunk spans cost no ca_common -> ca_obs link dependency (DESIGN.md §11).
+#include "src/obs/trace.h"  // NOLINT(include-layering)
 
 namespace ca {
 
@@ -17,10 +19,12 @@ namespace {
 // already been claimed simply finds no work, but it still touches the state
 // to discover that.
 struct ParallelForState {
-  std::size_t end = 0;
-  std::size_t grain = 1;
-  std::size_t n_chunks = 0;
-  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  // unguarded: the four fields below are written once before any task is
+  // submitted and read-only while workers run.
+  std::size_t end = 0;       // unguarded: see above
+  std::size_t grain = 1;     // unguarded: see above
+  std::size_t n_chunks = 0;  // unguarded: see above
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;  // unguarded: see above
 
   std::atomic<std::size_t> next_chunk_begin{0};
 

@@ -35,11 +35,11 @@ class ThreadPool {
  private:
   void WorkerLoop() CA_EXCLUDES(mutex_);
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"common.ThreadPool"};
   CondVar task_available_;
   CondVar all_done_;
   std::deque<std::function<void()>> queue_ CA_GUARDED_BY(mutex_);
-  std::vector<std::thread> threads_;  // written only in ctor, joined in dtor
+  std::vector<std::thread> threads_;  // unguarded: written only in ctor, joined in dtor
   std::size_t in_flight_ CA_GUARDED_BY(mutex_) = 0;
   bool shutting_down_ CA_GUARDED_BY(mutex_) = false;
 };

@@ -205,21 +205,24 @@ class CachedAttentionEngine {
                                                                         : PeMode::kDecoupled;
   }
 
-  const Transformer* model_;
-  EngineOptions options_;
+  const Transformer* model_;  // unguarded: set in ctor, immutable after
+  EngineOptions options_;     // unguarded: set in ctor, immutable after
 
   // mutex_ serializes everything the asynchronous write stream shares with
   // the serving thread: the store, the pending-save set and the scheduler
   // hints. The sessions_ *map* is also guarded (insert/erase/lookup race
   // with SessionHistory); the per-session state a lookup returns is only
   // ever mutated by the thread serving that session's turn.
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"core.Engine"};
   CondVar save_done_;
   AttentionStore store_ CA_GUARDED_BY(mutex_);
   std::unordered_map<SessionId, SessionState> sessions_ CA_GUARDED_BY(mutex_);
   std::unordered_set<SessionId> pending_saves_ CA_GUARDED_BY(mutex_);
   std::vector<SessionId> queue_hint_ CA_GUARDED_BY(mutex_);
-  std::unique_ptr<ThreadPool> write_stream_;  // non-null iff async_save
+  // Non-null iff async_save; created in ctor, reset only in the dtor
+  // after the stream drains.
+  // unguarded: lifecycle above — never reassigned while workers run.
+  std::unique_ptr<ThreadPool> write_stream_;
 
   // Turn accounting. Contract change (serving-runtime PR): Converse may run
   // on many worker threads concurrently, so accumulation happens under
@@ -230,9 +233,9 @@ class CachedAttentionEngine {
 
   // Live metrics handles (global registry; cached here because registration
   // is a map lookup — DESIGN.md §11).
-  Counter* turns_counter_;
-  Counter* load_fault_counter_;
-  HistogramMetric* prefill_seconds_hist_;
+  Counter* turns_counter_;                 // unguarded: set in ctor, immutable after
+  Counter* load_fault_counter_;            // unguarded: set in ctor, immutable after
+  HistogramMetric* prefill_seconds_hist_;  // unguarded: set in ctor, immutable after
 };
 
 }  // namespace ca

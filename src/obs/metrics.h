@@ -96,7 +96,7 @@ class HistogramMetric {
   View Snapshot() const CA_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.HistogramMetric"};
   RunningStat stat_ CA_GUARDED_BY(mu_);
   Samples samples_ CA_GUARDED_BY(mu_);
 };
@@ -152,7 +152,7 @@ class MetricsRegistry {
   void ResetForTesting() CA_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.MetricsRegistry"};
   std::map<std::string, std::unique_ptr<Counter>> counters_ CA_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ CA_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_ CA_GUARDED_BY(mu_);

@@ -341,10 +341,10 @@ class Tracer {
   static constexpr std::size_t kMaxEventsPerThread = 1U << 20;
 
   struct ThreadBuffer {
-    mutable Mutex mu;
+    mutable Mutex mu{"obs.Tracer.ThreadBuffer"};
     std::vector<TraceEvent> events CA_GUARDED_BY(mu);
     std::size_t dropped CA_GUARDED_BY(mu) = 0;
-    std::uint32_t tid = 0;
+    std::uint32_t tid = 0;  // unguarded: written once at registration
     std::string name CA_GUARDED_BY(mu);
   };
 
@@ -368,7 +368,7 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> next_flow_id_{1};
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.Tracer"};
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_ CA_GUARDED_BY(mu_);
 };
 

@@ -128,10 +128,10 @@ class ServingLoop {
   // Serves one admitted job end to end and records its reply.
   void ServeJob(const Job& job, ServeRequest request) CA_EXCLUDES(mutex_);
 
-  CachedAttentionEngine* engine_;
-  ServerOptions options_;
+  CachedAttentionEngine* engine_;   // unguarded: set in ctor, immutable after
+  ServerOptions options_;          // unguarded: set in ctor, immutable after
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"serve.ServingLoop"};
   CondVar work_available_;  // workers: new job / session freed / stopping
   CondVar idle_;            // WaitIdle/Shutdown: completed_ caught up
   JobQueue queue_ CA_GUARDED_BY(mutex_);
@@ -149,17 +149,18 @@ class ServingLoop {
   bool stopping_ CA_GUARDED_BY(mutex_) = false;
 
   std::atomic<bool> refresh_stop_{false};
-  bool joined_ = false;  // Shutdown idempotence (main thread only)
-  std::vector<std::thread> workers_;
-  std::thread refresh_thread_;
+  bool joined_ = false;  // unguarded: Shutdown idempotence, main thread only
+  std::vector<std::thread> workers_;  // unguarded: written in ctor, joined in Shutdown
+  std::thread refresh_thread_;        // unguarded: written in ctor, joined in Shutdown
 
-  // Cached registry handles (DESIGN.md §11).
-  Counter* accepted_counter_;
-  Counter* rejected_counter_;
-  Counter* completed_counter_;
-  Counter* failed_counter_;
-  HistogramMetric* turn_seconds_hist_;
-  Gauge* inflight_gauge_;
+  // Cached registry handles (DESIGN.md §11); the handles are set in the
+  // ctor and immutable after, and the metrics they point at lock themselves.
+  Counter* accepted_counter_;          // unguarded: set in ctor, immutable after
+  Counter* rejected_counter_;          // unguarded: set in ctor, immutable after
+  Counter* completed_counter_;         // unguarded: set in ctor, immutable after
+  Counter* failed_counter_;            // unguarded: set in ctor, immutable after
+  HistogramMetric* turn_seconds_hist_; // unguarded: set in ctor, immutable after
+  Gauge* inflight_gauge_;              // unguarded: set in ctor, immutable after
 };
 
 }  // namespace ca

@@ -108,7 +108,8 @@ Result<std::unique_ptr<FileBlockStorage>> FileBlockStorage::Open(std::string pat
     return IoError("cannot open " + path + ": " + std::strerror(errno));
   }
   return std::unique_ptr<FileBlockStorage>(
-      new FileBlockStorage(std::move(path), fd, capacity_bytes, block_bytes));  // NOLINT: private ctor
+      // NOLINT(naked-new, cppcoreguidelines-owning-memory, modernize-make-unique): private ctor
+      new FileBlockStorage(std::move(path), fd, capacity_bytes, block_bytes));  // NOLINT(naked-new)
 }
 
 FileBlockStorage::FileBlockStorage(std::string path, int fd, std::uint64_t capacity_bytes,

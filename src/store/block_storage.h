@@ -99,11 +99,11 @@ class PooledBlockStorage : public BlockStorage {
       CA_REQUIRES(mutex_) = 0;
   virtual Status ReadBlock(BlockId block, std::span<std::uint8_t> out) CA_REQUIRES(mutex_) = 0;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"store.PooledBlockStorage"};
   BlockAllocator allocator_ CA_GUARDED_BY(mutex_);
   // Medium label on io.write/io.read trace spans; concrete backends override
   // at construction (immutable afterwards).
-  const char* trace_medium_ = "mem";
+  const char* trace_medium_ = "mem";  // unguarded: set at construction only
 };
 
 class MemoryBlockStorage final : public PooledBlockStorage {

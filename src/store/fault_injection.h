@@ -86,10 +86,10 @@ class FaultInjectingBlockStorage final : public BlockStorage {
   // deterministic corruption site when the outcome is kCorrupt.
   Outcome NextOutcome(bool is_read, std::uint64_t* corrupt_pos) CA_EXCLUDES(mutex_);
 
-  std::unique_ptr<BlockStorage> inner_;
+  std::unique_ptr<BlockStorage> inner_;  // unguarded: set in ctor, immutable after
   const FaultConfig config_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"store.FaultInjecting"};
   Rng rng_ CA_GUARDED_BY(mutex_);
   FaultInjectionStats stats_ CA_GUARDED_BY(mutex_);
 };
