@@ -8,6 +8,7 @@
 // benchmarks".
 #include <benchmark/benchmark.h>
 
+#include "src/common/hash.h"
 #include "src/common/mutex.h"
 #include "src/model/transformer.h"
 #include "src/store/attention_store.h"
@@ -148,7 +149,18 @@ void BM_BlockAllocatorCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockAllocatorCycle)->Arg(1)->Arg(16)->Arg(256);
 
+// Store benchmark methodology: tracing is forced off (and the buffer
+// drained) before every BM_Store* run, so a tracer left enabled by another
+// benchmark in the same process cannot bill span bookkeeping to the store,
+// and each benchmark builds its own store so metrics state starts cold.
+// PR4's round-trip numbers were polluted by exactly this; see DESIGN.md §14.
+void StoreBenchSetup() {
+  Tracer::Get().Disable();
+  Tracer::Get().Clear();
+}
+
 void BM_StorePutAccess(benchmark::State& state) {
+  StoreBenchSetup();
   StoreConfig config;
   config.dram_capacity = GiB(8);
   config.disk_capacity = GiB(64);
@@ -166,13 +178,19 @@ void BM_StorePutAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_StorePutAccess);
 
-void BM_StorePayloadRoundTrip(benchmark::State& state) {
+StoreConfig PayloadStoreConfig(bool verify_checksums) {
   StoreConfig config;
   config.dram_capacity = GiB(1);
   config.disk_capacity = 0;
   config.block_bytes = MiB(1);
   config.real_payloads = true;
-  AttentionStore store(config);
+  config.verify_checksums = verify_checksums;
+  return config;
+}
+
+void BM_StorePayloadRoundTrip(benchmark::State& state) {
+  StoreBenchSetup();
+  AttentionStore store(PayloadStoreConfig(true));
   const SchedulerHints hints;
   const std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)), 0x5A);
   SimTime now = 0;
@@ -183,6 +201,82 @@ void BM_StorePayloadRoundTrip(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) * 2);
 }
 BENCHMARK(BM_StorePayloadRoundTrip)->Arg(1 << 20)->Arg(16 << 20);
+
+// Write and read halves measured alone, with the checksum as an explicit
+// axis (args: {payload_bytes, checksum_on}) so a hash regression shows up
+// as the delta between the two columns instead of hiding inside the
+// round-trip aggregate.
+void BM_StoreWriteOnly(benchmark::State& state) {
+  StoreBenchSetup();
+  AttentionStore store(PayloadStoreConfig(state.range(1) != 0));
+  const SchedulerHints hints;
+  const std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)), 0x5A);
+  SimTime now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Put(1, payload.size(), 100, payload, ++now, hints));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_StoreWriteOnly)
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 0})
+    ->Args({16 << 20, 1})
+    ->Args({16 << 20, 0});
+
+void BM_StoreReadOnly(benchmark::State& state) {
+  StoreBenchSetup();
+  AttentionStore store(PayloadStoreConfig(state.range(1) != 0));
+  const SchedulerHints hints;
+  const std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)), 0x5A);
+  CA_CHECK(store.Put(1, payload.size(), 100, payload, 1, hints).ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.ReadPayload(1));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_StoreReadOnly)
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 0})
+    ->Args({16 << 20, 1})
+    ->Args({16 << 20, 0});
+
+// The checksum primitive itself: args are {bytes, use_avx2}. The AVX2 row
+// is skipped (reported as 0 iterations) on machines without the ISA.
+void BM_Checksum64(benchmark::State& state) {
+  const bool use_avx2 = state.range(1) != 0;
+  if (use_avx2 && !ChunkedHashAvx2Available()) {
+    state.SkipWithError("AVX2 not available");
+    return;
+  }
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131u + 7u);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(internal::ChecksumWithKernel(data, use_avx2));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Checksum64)->Args({1 << 20, 0})->Args({1 << 20, 1})->Args({16 << 20, 1});
+
+// The PR3 byte-serial FNV-1a this PR replaced, kept as the comparison
+// baseline for BM_Checksum64 (this is the ~0.8 GB/s curve that sank
+// BM_StorePayloadRoundTrip; DESIGN.md §14).
+void BM_ChecksumFnv1aSerial(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131u + 7u);
+  }
+  for (auto _ : state) {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const std::uint8_t b : data) {
+      h = (h ^ b) * 0x100000001B3ULL;
+    }
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ChecksumFnv1aSerial)->Arg(1 << 20);
 
 // Observability overhead (DESIGN.md §11). The disabled case is the one the
 // serving hot paths pay unconditionally: it must stay at the cost of a

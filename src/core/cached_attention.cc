@@ -21,6 +21,33 @@ double SecondsSince(std::uint64_t start_ns) {
   return static_cast<double>(TraceNowNs() - start_ns) * 1e-9;
 }
 
+// Adapters marrying the model-layer serialisation cursors to the store's
+// zero-copy payload protocol. The model cannot depend on the store (layering
+// DAG) and vice versa, so the glue lives here in core.
+class SerializerSource final : public PayloadSource {
+ public:
+  explicit SerializerSource(KvCache::Serializer& serializer) : serializer_(serializer) {}
+
+  std::uint64_t size() const override { return serializer_.size(); }
+  void Reset() override { serializer_.Reset(); }
+  void Fill(std::span<std::uint8_t> dest) override { serializer_.Fill(dest); }
+
+ private:
+  KvCache::Serializer& serializer_;
+};
+
+class DeserializerSink final : public PayloadSink {
+ public:
+  explicit DeserializerSink(KvCache::StreamingDeserializer& deserializer)
+      : deserializer_(deserializer) {}
+
+  void Reset() override { deserializer_.Reset(); }
+  void Consume(std::span<const std::uint8_t> chunk) override { deserializer_.Consume(chunk); }
+
+ private:
+  KvCache::StreamingDeserializer& deserializer_;
+};
+
 }  // namespace
 
 CachedAttentionEngine::CachedAttentionEngine(const Transformer* model, EngineOptions options)
@@ -133,22 +160,27 @@ Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& stat
         // state, so a fault anywhere on the load path — tier I/O failure,
         // checksum mismatch, undeserializable payload — costs a recompute of
         // the history, never the turn.
+        // Zero-copy load: the store streams tier bytes straight into the
+        // deserializer (memory tiers hand over arena spans), which parses
+        // into the final tensor storage — no staging payload vector. On any
+        // non-OK read the half-built deserializer state is simply never
+        // Finish()ed, which is the discard the sink contract requires.
         bool payload_ok = false;
-        std::vector<std::uint8_t> payload;
+        KvCache::StreamingDeserializer deserializer(model_->config());
         {
+          DeserializerSink sink(deserializer);
           MutexLock lock(mutex_);
-          auto read = store_.ReadPayload(session);
+          const Status read = store_.ReadPayloadInto(session, sink);
           if (read.ok()) {
-            payload = std::move(*read);
             payload_ok = true;
           } else {
             CA_LOG(Warn) << "session " << session
-                         << " KV load degraded to a miss: " << read.status();
+                         << " KV load degraded to a miss: " << read;
           }
         }
         std::optional<KvCache> loaded_cache;
         if (payload_ok) {
-          auto loaded = KvCache::Deserialize(model_->config(), payload);
+          auto loaded = deserializer.Finish();
           if (loaded.ok()) {
             loaded_cache = std::move(*loaded);
           } else {
@@ -371,10 +403,27 @@ void CachedAttentionEngine::SaveCache(SessionId session, const KvCache& cache) {
   if (cache.seq_len() == 0) {
     return;
   }
-  // Serialize now: the cache buffer is only valid during this turn.
-  std::vector<std::uint8_t> payload = cache.Serialize();
   const std::uint64_t tokens = cache.seq_len();
-  // Invoked with mutex_ held (both below call sites lock first).
+  if (write_stream_ == nullptr) {
+    // Synchronous save: the serializer cursor feeds the store's zero-copy
+    // Put, so the KV bytes go tensors → tier block memory in one pass with
+    // the checksum folded in along the way — no staging vector.
+    KvCache::Serializer serializer(cache);
+    SerializerSource source(serializer);
+    CA_TRACE_SPAN("engine.save", "session", session, "bytes", source.size());
+    MutexLock lock(mutex_);
+    const SchedulerHints hints = CurrentHintsLocked();
+    const Status s = store_.Put(session, tokens, source, WallNow(), hints);
+    if (!s.ok()) {
+      CA_LOG(Debug) << "KV save for session " << session << " dropped: " << s;
+    }
+    return;
+  }
+  // Serialize now: the cache buffer is only valid during this turn, and the
+  // async stream outlives it, so the payload must be materialised before it
+  // crosses threads. (The store side still moves vector → tier zero-copy.)
+  std::vector<std::uint8_t> payload = cache.Serialize();
+  // Invoked with mutex_ held (the stream task below locks first).
   auto do_put = [this, session, tokens](const std::vector<std::uint8_t>& bytes) {
     mutex_.AssertHeld();
     const SchedulerHints hints = CurrentHintsLocked();
@@ -383,12 +432,6 @@ void CachedAttentionEngine::SaveCache(SessionId session, const KvCache& cache) {
       CA_LOG(Debug) << "KV save for session " << session << " dropped: " << s;
     }
   };
-  if (write_stream_ == nullptr) {
-    CA_TRACE_SPAN("engine.save", "session", session, "bytes", payload.size());
-    MutexLock lock(mutex_);
-    do_put(payload);
-    return;
-  }
   // Asynchronous write stream (§3.2.2): the save overlaps the caller's next
   // work; readers of this session block in WaitForPendingSave until it
   // lands. The flow link ties the serving thread's enqueue to the save span

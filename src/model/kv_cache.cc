@@ -19,6 +19,9 @@ struct SerializedHeader {
   std::uint64_t seq_len;
 };
 
+static_assert(sizeof(SerializedHeader) == KvCache::kSerializedHeaderBytes,
+              "wire header size drifted from KvCache::kSerializedHeaderBytes");
+
 }  // namespace
 
 KvCache::KvCache(const ModelConfig& config, PeMode pe_mode)
@@ -162,69 +165,173 @@ std::uint64_t KvCache::byte_size() const {
 
 KvCache KvCache::Clone() const { return *this; }
 
-std::vector<std::uint8_t> KvCache::Serialize() const {
-  const std::size_t len = seq_len();
-  for (std::size_t layer = 0; layer < k_.size(); ++layer) {
-    CA_CHECK_EQ(layer_len(layer), len) << "Serialize mid-forward";
+KvCache::Serializer::Serializer(const KvCache& cache) {
+  const std::size_t len = cache.seq_len();
+  for (std::size_t layer = 0; layer < cache.k_.size(); ++layer) {
+    CA_CHECK_EQ(cache.layer_len(layer), len) << "Serialize mid-forward";
   }
-  SerializedHeader header{
+  const SerializedHeader header{
       .magic = kMagic,
-      .pe_mode = static_cast<std::uint32_t>(pe_mode_),
-      .n_layers = static_cast<std::uint32_t>(k_.size()),
-      .kv_dim = static_cast<std::uint32_t>(kv_dim_),
+      .pe_mode = static_cast<std::uint32_t>(cache.pe_mode_),
+      .n_layers = static_cast<std::uint32_t>(cache.k_.size()),
+      .kv_dim = static_cast<std::uint32_t>(cache.kv_dim_),
       .seq_len = len,
   };
-  std::vector<std::uint8_t> out(sizeof(header) + byte_size());
-  std::memcpy(out.data(), &header, sizeof(header));
-  std::size_t off = sizeof(header);
-  for (std::size_t layer = 0; layer < k_.size(); ++layer) {
-    // Empty layers have a null data(); memcpy forbids null even with size 0.
-    const std::size_t k_bytes = k_[layer].size() * sizeof(float);
-    if (k_bytes > 0) {
-      std::memcpy(out.data() + off, k_[layer].data(), k_bytes);
+  std::memcpy(header_.data(), &header, sizeof(header));
+  segments_.reserve(1 + 2 * cache.k_.size());
+  segments_.push_back(Segment{.data = header_.data(), .len = header_.size()});
+  total_ = header_.size();
+  for (std::size_t layer = 0; layer < cache.k_.size(); ++layer) {
+    // Empty layers have a null data(); skip them so Fill never touches a
+    // null segment pointer.
+    if (const std::size_t k_bytes = cache.k_[layer].size() * sizeof(float); k_bytes > 0) {
+      segments_.push_back(Segment{
+          .data = reinterpret_cast<const std::uint8_t*>(cache.k_[layer].data()), .len = k_bytes});
+      total_ += k_bytes;
     }
-    off += k_bytes;
-    const std::size_t v_bytes = v_[layer].size() * sizeof(float);
-    if (v_bytes > 0) {
-      std::memcpy(out.data() + off, v_[layer].data(), v_bytes);
+    if (const std::size_t v_bytes = cache.v_[layer].size() * sizeof(float); v_bytes > 0) {
+      segments_.push_back(Segment{
+          .data = reinterpret_cast<const std::uint8_t*>(cache.v_[layer].data()), .len = v_bytes});
+      total_ += v_bytes;
     }
-    off += v_bytes;
   }
-  CA_CHECK_EQ(off, out.size());
+  CA_CHECK_EQ(total_, cache.SerializedSize());
+}
+
+void KvCache::Serializer::Fill(std::span<std::uint8_t> dest) {
+  std::size_t off = 0;
+  while (off < dest.size()) {
+    CA_CHECK_LT(seg_, segments_.size()) << "Fill past the serialized payload";
+    const Segment& s = segments_[seg_];
+    if (seg_off_ == s.len) {
+      ++seg_;
+      seg_off_ = 0;
+      continue;
+    }
+    const std::size_t take = std::min(dest.size() - off, s.len - seg_off_);
+    std::memcpy(dest.data() + off, s.data + seg_off_, take);
+    off += take;
+    seg_off_ += take;
+  }
+}
+
+void KvCache::SerializeInto(std::span<std::uint8_t> out) const {
+  Serializer cursor(*this);
+  CA_CHECK_EQ(out.size(), cursor.size()) << "SerializeInto buffer size mismatch";
+  cursor.Fill(out);
+}
+
+std::vector<std::uint8_t> KvCache::Serialize() const {
+  std::vector<std::uint8_t> out(SerializedSize());
+  SerializeInto(out);
+  return out;
+}
+
+void KvCache::StreamingDeserializer::Reset() {
+  header_have_ = 0;
+  cache_.reset();
+  error_ = Status::Ok();
+  segments_.clear();
+  seg_ = 0;
+  seg_off_ = 0;
+  expected_total_ = 0;
+  consumed_ = 0;
+}
+
+void KvCache::StreamingDeserializer::ParseHeader() {
+  SerializedHeader header;
+  std::memcpy(&header, header_.data(), sizeof(header));
+  if (header.magic != kMagic) {
+    error_ = InvalidArgumentError("bad KV cache magic");
+    return;
+  }
+  if (header.n_layers != config_->n_layers || header.kv_dim != config_->kv_dim()) {
+    error_ = InvalidArgumentError("KV cache shape does not match model config");
+    return;
+  }
+  // A cache can never legitimately exceed the model's context window; a
+  // garbage length must not drive the tensor allocation below. (Reachable
+  // only with checksum verification disabled — a verified stream never
+  // presents a damaged header.)
+  if (header.seq_len > config_->context_window) {
+    error_ = InvalidArgumentError("KV cache seq_len exceeds the context window");
+    return;
+  }
+  expected_total_ =
+      sizeof(header) + 2ULL * header.n_layers * header.seq_len * header.kv_dim * sizeof(float);
+  cache_ = std::make_unique<KvCache>(*config_, static_cast<PeMode>(header.pe_mode));
+  const std::size_t layer_floats = header.seq_len * header.kv_dim;
+  if (layer_floats == 0) {
+    return;
+  }
+  segments_.reserve(2ULL * header.n_layers);
+  for (std::size_t layer = 0; layer < header.n_layers; ++layer) {
+    cache_->k_[layer].resize(layer_floats);
+    segments_.push_back(Segment{.data = reinterpret_cast<std::uint8_t*>(cache_->k_[layer].data()),
+                                .len = layer_floats * sizeof(float)});
+    cache_->v_[layer].resize(layer_floats);
+    segments_.push_back(Segment{.data = reinterpret_cast<std::uint8_t*>(cache_->v_[layer].data()),
+                                .len = layer_floats * sizeof(float)});
+  }
+}
+
+void KvCache::StreamingDeserializer::Consume(std::span<const std::uint8_t> chunk) {
+  consumed_ += chunk.size();
+  if (!error_.ok()) {
+    return;  // swallow the rest; Finish() reports the first failure
+  }
+  while (!chunk.empty()) {
+    if (header_have_ < kSerializedHeaderBytes) {
+      const std::size_t take = std::min(chunk.size(), kSerializedHeaderBytes - header_have_);
+      std::memcpy(header_.data() + header_have_, chunk.data(), take);
+      header_have_ += take;
+      chunk = chunk.subspan(take);
+      if (header_have_ == kSerializedHeaderBytes) {
+        ParseHeader();
+        if (!error_.ok()) {
+          return;
+        }
+      }
+      continue;
+    }
+    if (seg_ >= segments_.size()) {
+      error_ = InvalidArgumentError("KV cache buffer size mismatch");
+      return;
+    }
+    Segment& s = segments_[seg_];
+    if (seg_off_ == s.len) {
+      ++seg_;
+      seg_off_ = 0;
+      continue;
+    }
+    const std::size_t take = std::min(chunk.size(), s.len - seg_off_);
+    std::memcpy(s.data + seg_off_, chunk.data(), take);
+    seg_off_ += take;
+    chunk = chunk.subspan(take);
+  }
+}
+
+Result<KvCache> KvCache::StreamingDeserializer::Finish() {
+  if (!error_.ok()) {
+    return error_;
+  }
+  if (header_have_ < kSerializedHeaderBytes) {
+    return InvalidArgumentError("KV cache buffer shorter than header");
+  }
+  if (consumed_ != expected_total_) {
+    return InvalidArgumentError("KV cache buffer size mismatch");
+  }
+  CA_CHECK(cache_ != nullptr);
+  KvCache out = std::move(*cache_);
+  cache_.reset();
   return out;
 }
 
 Result<KvCache> KvCache::Deserialize(const ModelConfig& config,
                                      std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < sizeof(SerializedHeader)) {
-    return InvalidArgumentError("KV cache buffer shorter than header");
-  }
-  SerializedHeader header;
-  std::memcpy(&header, bytes.data(), sizeof(header));
-  if (header.magic != kMagic) {
-    return InvalidArgumentError("bad KV cache magic");
-  }
-  if (header.n_layers != config.n_layers || header.kv_dim != config.kv_dim()) {
-    return InvalidArgumentError("KV cache shape does not match model config");
-  }
-  const std::size_t row_floats = header.kv_dim;
-  const std::size_t expected =
-      sizeof(header) + 2ULL * header.n_layers * header.seq_len * row_floats * sizeof(float);
-  if (bytes.size() != expected) {
-    return InvalidArgumentError("KV cache buffer size mismatch");
-  }
-  KvCache cache(config, static_cast<PeMode>(header.pe_mode));
-  std::size_t off = sizeof(header);
-  const std::size_t layer_floats = header.seq_len * row_floats;
-  for (std::size_t layer = 0; layer < header.n_layers && layer_floats > 0; ++layer) {
-    cache.k_[layer].resize(layer_floats);
-    std::memcpy(cache.k_[layer].data(), bytes.data() + off, layer_floats * sizeof(float));
-    off += layer_floats * sizeof(float);
-    cache.v_[layer].resize(layer_floats);
-    std::memcpy(cache.v_[layer].data(), bytes.data() + off, layer_floats * sizeof(float));
-    off += layer_floats * sizeof(float);
-  }
-  return cache;
+  StreamingDeserializer cursor(config);
+  cursor.Consume(bytes);
+  return cursor.Finish();
 }
 
 }  // namespace ca

@@ -14,8 +14,10 @@
 #ifndef CA_MODEL_KV_CACHE_H_
 #define CA_MODEL_KV_CACHE_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -83,6 +85,87 @@ class KvCache {
   std::vector<std::uint8_t> Serialize() const;
   static Result<KvCache> Deserialize(const ModelConfig& config,
                                      std::span<const std::uint8_t> bytes);
+
+  // --- zero-copy serialisation (DESIGN.md §14) -------------------------
+
+  // Wire size of the header (4x u32 + u64; static_assert'd in kv_cache.cc).
+  static constexpr std::size_t kSerializedHeaderBytes = 24;
+
+  // Exact Serialize() output size without materialising the buffer.
+  std::uint64_t SerializedSize() const { return kSerializedHeaderBytes + byte_size(); }
+
+  // Serialize() into a caller-owned buffer of exactly SerializedSize() bytes.
+  void SerializeInto(std::span<std::uint8_t> out) const;
+
+  // Cursor over the serialized wire form. Fill() produces successive byte
+  // windows straight out of the cache's tensors (plus a small header copy),
+  // so the engine's save path hands this to the store and the KV bytes land
+  // directly in tier block memory — no staging vector. The cache must stay
+  // alive and unmodified while a Serializer reads it.
+  class Serializer {
+   public:
+    explicit Serializer(const KvCache& cache);
+
+    std::uint64_t size() const { return total_; }
+    void Reset() {
+      seg_ = 0;
+      seg_off_ = 0;
+    }
+    // Produces the next dest.size() bytes of the wire form.
+    void Fill(std::span<std::uint8_t> dest);
+
+   private:
+    struct Segment {
+      const std::uint8_t* data = nullptr;
+      std::size_t len = 0;
+    };
+
+    std::array<std::uint8_t, kSerializedHeaderBytes> header_ = {};
+    std::vector<Segment> segments_;  // header, then per layer K, V
+    std::uint64_t total_ = 0;
+    std::size_t seg_ = 0;
+    std::size_t seg_off_ = 0;
+  };
+
+  // Incremental inverse: chunks of the wire form arrive in byte order (any
+  // chunking) via Consume; Finish() validates and yields the cache. Once the
+  // header has been consumed and validated, payload bytes are copied
+  // straight into the final tensor storage — no whole-payload staging
+  // buffer. Errors (bad magic, shape mismatch, over/undershoot) are
+  // remembered; subsequent chunks are swallowed and Finish() reports the
+  // first failure. Reset() restarts a fresh pass (the store's read-retry
+  // loop replays the stream).
+  class StreamingDeserializer {
+   public:
+    explicit StreamingDeserializer(const ModelConfig& config) : config_(&config) {}
+
+    void Reset();
+    void Consume(std::span<const std::uint8_t> chunk);
+    // Consumes the built cache; the deserializer is spent afterwards
+    // (Reset() before reuse).
+    Result<KvCache> Finish();
+
+   private:
+    void ParseHeader();
+
+    struct Segment {
+      std::uint8_t* data = nullptr;
+      std::size_t len = 0;
+    };
+
+    const ModelConfig* config_;
+    std::array<std::uint8_t, kSerializedHeaderBytes> header_ = {};
+    std::size_t header_have_ = 0;
+    // unique_ptr, not optional: KvCache is still incomplete inside its own
+    // nested class, and optional needs the complete type.
+    std::unique_ptr<KvCache> cache_;
+    Status error_ = Status::Ok();
+    std::vector<Segment> segments_;  // per layer K, V (into cache_'s tensors)
+    std::size_t seg_ = 0;
+    std::size_t seg_off_ = 0;
+    std::uint64_t expected_total_ = 0;
+    std::uint64_t consumed_ = 0;
+  };
 
  private:
   PeMode pe_mode_;

@@ -40,6 +40,60 @@ bool IsPermanentIoFailure(StatusCode code) {
          code == StatusCode::kDataLoss;
 }
 
+// Folds the checksum in while the payload streams towards the device, so
+// the hash touches each block while it is still cache-hot from the fill —
+// no separate whole-payload hashing pass (DESIGN.md §14). Hashing happens
+// BEFORE any fault decorator or device can damage the bytes: the recorded
+// checksum always covers the producer's clean payload.
+class HashingSource final : public PayloadSource {
+ public:
+  HashingSource(PayloadSource& inner, bool enabled) : inner_(inner), enabled_(enabled) {}
+
+  std::uint64_t size() const override { return inner_.size(); }
+  void Reset() override {
+    inner_.Reset();
+    hash_.Reset();
+  }
+  void Fill(std::span<std::uint8_t> dest) override {
+    inner_.Fill(dest);
+    if (enabled_) {
+      hash_.Update(dest);
+    }
+  }
+
+  std::uint64_t digest() const { return enabled_ ? hash_.Finalize() : 0; }
+
+ private:
+  PayloadSource& inner_;
+  const bool enabled_;
+  ChunkedHash64 hash_;
+};
+
+// Read-side twin: hashes the chunks as they stream past on their way to the
+// consumer, so the verification costs no second pass over the payload.
+class HashingSink final : public PayloadSink {
+ public:
+  HashingSink(PayloadSink& inner, bool enabled) : inner_(inner), enabled_(enabled) {}
+
+  void Reset() override {
+    inner_.Reset();
+    hash_.Reset();
+  }
+  void Consume(std::span<const std::uint8_t> chunk) override {
+    if (enabled_) {
+      hash_.Update(chunk);
+    }
+    inner_.Consume(chunk);
+  }
+
+  std::uint64_t digest() const { return enabled_ ? hash_.Finalize() : 0; }
+
+ private:
+  PayloadSink& inner_;
+  const bool enabled_;
+  ChunkedHash64 hash_;
+};
+
 }  // namespace
 
 std::string_view TierName(Tier tier) {
@@ -93,7 +147,9 @@ AttentionStore::AttentionStore(StoreConfig config)
     }
     if (config_.disk_capacity > 0) {
       auto disk =
-          FileBlockStorage::Open(config_.disk_path, config_.disk_capacity, config_.block_bytes);
+          FileBlockStorage::Open(config_.disk_path, config_.disk_capacity, config_.block_bytes,
+                                 DiskIoOptions{.mode = config_.disk_io_mode,
+                                               .direct_io = config_.disk_direct_io});
       if (disk.ok()) {
         storages_[static_cast<std::size_t>(Tier::kDisk)] =
             MaybeInjectFaults(std::move(*disk), config_.disk_fault);
@@ -109,11 +165,11 @@ AttentionStore::AttentionStore(StoreConfig config)
   }
 }
 
-std::vector<Tier> AttentionStore::EnabledTiers() const {
-  std::vector<Tier> tiers;
+AttentionStore::TierList AttentionStore::EnabledTiers() const {
+  TierList tiers;
   for (const Tier t : {Tier::kHbm, Tier::kDram, Tier::kDisk}) {
     if (TierEnabled(t)) {
-      tiers.push_back(t);
+      tiers.tiers[tiers.count++] = t;
     }
   }
   return tiers;
@@ -303,15 +359,21 @@ void AttentionStore::PurgeQuarantined() {
 
 // --- retrying tier I/O -----------------------------------------------------
 
-Result<BlockExtent> AttentionStore::WriteWithRetry(BlockStorage& storage,
-                                                   std::span<const std::uint8_t> bytes,
-                                                   Tier tier) {
+Result<AttentionStore::WriteReceipt> AttentionStore::WriteWithRetry(BlockStorage& storage,
+                                                                    PayloadSource& source,
+                                                                    Tier tier) {
+  const std::uint64_t start_ns = TraceNowNs();
   std::uint64_t backoff_us = config_.io_retry_backoff_us;
   for (std::uint32_t attempt = 0;; ++attempt) {
-    auto extent = storage.Write(bytes);
+    source.Reset();
+    HashingSource hashed(source, config_.verify_checksums);
+    auto extent = storage.WriteZeroCopy(hashed);
     if (extent.ok()) {
       RecordTierSuccess(tier);
-      return extent;
+      auto& io = stats_.tier_io[static_cast<std::size_t>(tier)];
+      io.write_bytes += extent->byte_length;
+      io.write_ns += TraceNowNs() - start_ns;
+      return WriteReceipt{.extent = std::move(*extent), .checksum = hashed.digest()};
     }
     if (extent.status().code() == StatusCode::kUnavailable && attempt < config_.io_retries) {
       ++stats_.io_retries;
@@ -323,20 +385,23 @@ Result<BlockExtent> AttentionStore::WriteWithRetry(BlockStorage& storage,
       continue;
     }
     RecordTierFault(tier, extent.status());
-    return extent;
+    return extent.status();
   }
 }
 
-Result<std::vector<std::uint8_t>> AttentionStore::ReadVerified(BlockStorage& storage,
-                                                               const KvRecord& record,
-                                                               Tier tier) {
+Status AttentionStore::ReadVerifiedInto(BlockStorage& storage, const KvRecord& record, Tier tier,
+                                        std::span<std::uint8_t> out) {
+  const std::uint64_t start_ns = TraceNowNs();
   std::uint64_t backoff_us = config_.io_retry_backoff_us;
   for (std::uint32_t attempt = 0;; ++attempt) {
-    auto data = storage.Read(record.extent);
-    if (data.ok()) {
-      if (Fnv1a64(*data) == record.checksum) {
+    const Status read = storage.ReadInto(record.extent, out);
+    if (read.ok()) {
+      if (!config_.verify_checksums || Checksum64(out) == record.checksum) {
         RecordTierSuccess(tier);
-        return data;
+        auto& io = stats_.tier_io[static_cast<std::size_t>(tier)];
+        io.read_bytes += out.size();
+        io.read_ns += TraceNowNs() - start_ns;
+        return Status::Ok();
       }
       // Corrupt bytes read back "successfully": a torn write or short read.
       // Retrying cannot help (the damage is persistent or the next read is
@@ -351,7 +416,7 @@ Result<std::vector<std::uint8_t>> AttentionStore::ReadVerified(BlockStorage& sto
       RecordTierFault(tier, corrupt);
       return corrupt;
     }
-    if (data.status().code() == StatusCode::kUnavailable && attempt < config_.io_retries) {
+    if (read.code() == StatusCode::kUnavailable && attempt < config_.io_retries) {
       ++stats_.io_retries;
       CA_TRACE_INSTANT("store.io_retry", "tier", TierName(tier), "attempt", attempt + 1);
       if (backoff_us > 0) {
@@ -360,8 +425,51 @@ Result<std::vector<std::uint8_t>> AttentionStore::ReadVerified(BlockStorage& sto
       }
       continue;
     }
-    RecordTierFault(tier, data.status());
-    return data.status();
+    RecordTierFault(tier, read);
+    return read;
+  }
+}
+
+Status AttentionStore::ReadVerifiedStream(BlockStorage& storage, const KvRecord& record,
+                                          Tier tier, PayloadSink& sink) {
+  const std::uint64_t start_ns = TraceNowNs();
+  std::uint64_t backoff_us = config_.io_retry_backoff_us;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    HashingSink hashed(sink, config_.verify_checksums);
+    hashed.Reset();  // retries replay the pass; the consumer restarts too
+    const Status read = storage.ReadZeroCopy(record.extent, hashed);
+    if (read.ok()) {
+      if (!config_.verify_checksums || hashed.digest() == record.checksum) {
+        RecordTierSuccess(tier);
+        auto& io = stats_.tier_io[static_cast<std::size_t>(tier)];
+        io.read_bytes += record.bytes;
+        io.read_ns += TraceNowNs() - start_ns;
+        return Status::Ok();
+      }
+      // Same verdict as ReadVerifiedInto — but the sink has already seen
+      // the torn bytes (single-pass streaming); the non-OK return obliges
+      // the caller to discard whatever it built.
+      ++stats_.corrupt_payloads;
+      CA_TRACE_INSTANT("store.corrupt_payload", "session", record.session, "tier",
+                       TierName(tier));
+      const Status corrupt =
+          DataLossError("session " + std::to_string(record.session) +
+                        " payload failed checksum verification in " +
+                        std::string(TierName(tier)));
+      RecordTierFault(tier, corrupt);
+      return corrupt;
+    }
+    if (read.code() == StatusCode::kUnavailable && attempt < config_.io_retries) {
+      ++stats_.io_retries;
+      CA_TRACE_INSTANT("store.io_retry", "tier", TierName(tier), "attempt", attempt + 1);
+      if (backoff_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        backoff_us *= 2;
+      }
+      continue;
+    }
+    RecordTierFault(tier, read);
+    return read;
   }
 }
 
@@ -446,24 +554,27 @@ Status AttentionStore::MoveRecord(KvRecord& record, Tier target) {
     } else {
       BlockStorage* dst_storage = Storage(target);
       CA_CHECK(dst_storage != nullptr);
-      auto data = ReadVerified(*src_storage, record, source);
-      if (!data.ok()) {
-        if (data.status().code() == StatusCode::kUnavailable) {
-          return data.status();  // transient: record untouched, retryable later
+      std::vector<std::uint8_t> data(record.bytes);
+      const Status read = ReadVerifiedInto(*src_storage, record, source, data);
+      if (!read.ok()) {
+        if (read.code() == StatusCode::kUnavailable) {
+          return read;  // transient: record untouched, retryable later
         }
         // Source payload unrecoverable: release the record (see contract in
         // the header) — the caller erases the map entry.
         src_storage->Free(record.extent);
         used_bytes_[static_cast<std::size_t>(source)] -= record.block_bytes;
         record.tier = Tier::kNone;
-        return data.status();
+        return read;
       }
-      auto new_extent = WriteWithRetry(*dst_storage, *data, target);
-      if (!new_extent.ok()) {
-        return new_extent.status();  // nothing mutated: full rollback
+      SpanSource bytes(data);
+      auto receipt = WriteWithRetry(*dst_storage, bytes, target);
+      if (!receipt.ok()) {
+        return receipt.status();  // nothing mutated: full rollback
       }
       src_storage->Free(record.extent);
-      record.extent = std::move(*new_extent);
+      record.extent = std::move(receipt->extent);
+      record.checksum = receipt->checksum;
     }
   }
   if (source != Tier::kNone) {
@@ -521,13 +632,24 @@ bool AttentionStore::EnsureRoom(Tier tier, std::uint64_t needed, SessionId exclu
 Status AttentionStore::Put(SessionId session, std::uint64_t bytes, std::uint64_t token_count,
                            std::span<const std::uint8_t> payload, SimTime now,
                            const SchedulerHints& hints) {
-  CA_CHECK_GT(bytes, 0ULL);
   if (config_.real_payloads) {
     CA_CHECK_EQ(payload.size(), bytes) << "real-payload store requires the payload";
-  } else {
-    CA_CHECK(payload.empty()) << "payload passed to capacity-only store";
+    SpanSource source(payload);
+    return PutImpl(session, bytes, token_count, &source, now, hints);
   }
+  CA_CHECK(payload.empty()) << "payload passed to capacity-only store";
+  return PutImpl(session, bytes, token_count, nullptr, now, hints);
+}
 
+Status AttentionStore::Put(SessionId session, std::uint64_t token_count, PayloadSource& payload,
+                           SimTime now, const SchedulerHints& hints) {
+  CA_CHECK(config_.real_payloads) << "zero-copy Put on capacity-only store";
+  return PutImpl(session, payload.size(), token_count, &payload, now, hints);
+}
+
+Status AttentionStore::PutImpl(SessionId session, std::uint64_t bytes, std::uint64_t token_count,
+                               PayloadSource* payload, SimTime now, const SchedulerHints& hints) {
+  CA_CHECK_GT(bytes, 0ULL);
   CA_TRACE_SPAN("store.put", "session", session, "bytes", bytes);
 
   // Updating an existing record: release its old residency first so its own
@@ -546,8 +668,9 @@ Status AttentionStore::Put(SessionId session, std::uint64_t bytes, std::uint64_t
   }
 
   const std::uint64_t block_bytes = RoundToBlocks(bytes);
-  Status failure = ResourceExhaustedError("KV cache of session " + std::to_string(session) +
-                                          " fits in no tier");
+  // Built lazily: the hot path (placement succeeds on the first tier) must
+  // not pay for formatting a failure message it never returns.
+  std::optional<Status> failure;
   for (const Tier tier : EnabledTiers()) {
     // A tier picked up-front can be quarantined by I/O failures while this
     // very Put makes room or tries a faster tier; re-check before using it.
@@ -570,16 +693,16 @@ Status AttentionStore::Put(SessionId session, std::uint64_t bytes, std::uint64_t
                     .extent = {},
                     .checksum = 0};
     if (config_.real_payloads) {
-      auto extent = WriteWithRetry(*Storage(tier), payload, tier);
-      if (!extent.ok()) {
+      auto receipt = WriteWithRetry(*Storage(tier), *payload, tier);
+      if (!receipt.ok()) {
         // A failed save is a future miss, never an abort: degrade to the
         // next slower tier (or drop the record entirely below).
         ++stats_.failed_puts;
-        failure = extent.status();
+        failure = receipt.status();
         continue;
       }
-      record.extent = std::move(*extent);
-      record.checksum = Fnv1a64(payload);
+      record.extent = std::move(receipt->extent);
+      record.checksum = receipt->checksum;
     }
     used_bytes_[static_cast<std::size_t>(tier)] += block_bytes;
     record.tier = tier;
@@ -595,7 +718,10 @@ Status AttentionStore::Put(SessionId session, std::uint64_t bytes, std::uint64_t
   }
   PurgeQuarantined();
   MaybeAudit();
-  return failure;
+  return failure.has_value()
+             ? *failure
+             : ResourceExhaustedError("KV cache of session " + std::to_string(session) +
+                                      " fits in no tier");
 }
 
 Result<std::vector<std::uint8_t>> AttentionStore::ReadPayload(SessionId session) {
@@ -608,13 +734,26 @@ Result<std::vector<std::uint8_t>> AttentionStore::ReadPayload(SessionId session)
   KvRecord& r = it->second;
   BlockStorage* storage = Storage(r.tier);
   CA_CHECK(storage != nullptr);
-  auto data = ReadVerified(*storage, r, r.tier);
-  if (data.ok()) {
-    return data;
+  // Collect via the streaming read path with reserve + insert instead of a
+  // value-initialized vector: resize() would memset the whole payload (a
+  // full extra memory pass per MiB-scale read) before the copy overwrites
+  // it, while insert() from the streamed chunks copies straight into
+  // uninitialized capacity.
+  struct VectorSink final : PayloadSink {
+    std::vector<std::uint8_t> data;
+    void Reset() override { data.clear(); }
+    void Consume(std::span<const std::uint8_t> chunk) override {
+      data.insert(data.end(), chunk.begin(), chunk.end());
+    }
+  };
+  VectorSink sink;
+  sink.data.reserve(r.bytes);
+  const Status read = ReadVerifiedStream(*storage, r, r.tier, sink);
+  if (read.ok()) {
+    return std::move(sink.data);
   }
   ++stats_.failed_reads;
-  const Status failure = data.status();
-  if (failure.code() != StatusCode::kUnavailable) {
+  if (read.code() != StatusCode::kUnavailable) {
     // Permanent failure or corruption: the payload is untrustworthy. Drop
     // the record so this miss is consistent on every subsequent lookup.
     (void)MoveRecord(r, Tier::kNone);
@@ -623,7 +762,34 @@ Result<std::vector<std::uint8_t>> AttentionStore::ReadPayload(SessionId session)
   }
   PurgeQuarantined();
   MaybeAudit();
-  return failure;
+  return read;
+}
+
+Status AttentionStore::ReadPayloadInto(SessionId session, PayloadSink& sink) {
+  CA_CHECK(config_.real_payloads) << "ReadPayloadInto on capacity-only store";
+  CA_TRACE_SPAN("store.read_payload", "session", session, "zero_copy", 1);
+  const auto it = records_.find(session);
+  if (it == records_.end()) {
+    return NotFoundError("session " + std::to_string(session));
+  }
+  KvRecord& r = it->second;
+  BlockStorage* storage = Storage(r.tier);
+  CA_CHECK(storage != nullptr);
+  const Status read = ReadVerifiedStream(*storage, r, r.tier, sink);
+  if (read.ok()) {
+    return read;
+  }
+  ++stats_.failed_reads;
+  if (read.code() != StatusCode::kUnavailable) {
+    // Same drop-on-permanent-failure semantics as ReadPayload; the caller
+    // additionally discards whatever the sink consumed before the verdict.
+    (void)MoveRecord(r, Tier::kNone);
+    records_.erase(it);
+    ++stats_.fault_evictions;
+  }
+  PurgeQuarantined();
+  MaybeAudit();
+  return read;
 }
 
 Status AttentionStore::Promote(SessionId session, SimTime now, const SchedulerHints& hints) {
@@ -823,6 +989,11 @@ void AttentionStore::PublishMetrics(MetricsRegistry* registry) const {
     reg.GetGauge("store.used_bytes", labels).Set(static_cast<double>(UsedBytes(tier)));
     reg.GetGauge("store.capacity_bytes", labels)
         .Set(static_cast<double>(CapacityBytes(tier)));
+    const StoreStats::TierIo& io = stats_.tier_io[static_cast<std::size_t>(tier)];
+    reg.GetGauge("store.io_write_bytes", labels).Set(static_cast<double>(io.write_bytes));
+    reg.GetGauge("store.io_read_bytes", labels).Set(static_cast<double>(io.read_bytes));
+    reg.GetGauge("store.io_write_bytes_per_sec", labels).Set(io.write_bytes_per_sec());
+    reg.GetGauge("store.io_read_bytes_per_sec", labels).Set(io.read_bytes_per_sec());
   }
   reg.GetGauge("store.records").Set(static_cast<double>(RecordCount()));
 }

@@ -89,6 +89,17 @@ struct StoreConfig {
   FaultConfig hbm_fault;
   FaultConfig dram_fault;
   FaultConfig disk_fault;
+
+  // --- I/O path tuning (DESIGN.md §14) --------------------------------
+
+  // Per-extent payload checksums (chunked parallel hash, computed while the
+  // bytes stream through the write path). Off skips both the write-side
+  // stamp and the read-side verification — benchmark axis, not for prod.
+  bool verify_checksums = true;
+
+  // Disk-tier submission strategy and O_DIRECT staging (real_payloads only).
+  DiskIoMode disk_io_mode = DiskIoMode::kAuto;
+  bool disk_direct_io = false;
 };
 
 // Public view of one record.
@@ -132,12 +143,25 @@ class AttentionStore {
   Status Put(SessionId session, std::uint64_t bytes, std::uint64_t token_count,
              std::span<const std::uint8_t> payload, SimTime now, const SchedulerHints& hints);
 
+  // Zero-copy variant (real_payloads only): pulls the record's bytes from
+  // `payload` straight into tier block memory; the checksum is folded in
+  // per block while the bytes stream through (DESIGN.md §14). The source
+  // may be consumed multiple times (Reset + replay) by the retry loop.
+  Status Put(SessionId session, std::uint64_t token_count, PayloadSource& payload, SimTime now,
+             const SchedulerHints& hints);
+
   // Reads a record's payload (real-payload mode only), verifying its
   // checksum. Any failure is miss-equivalent for the caller: transient
   // exhaustion (kUnavailable) keeps the record for a later retry, while a
   // permanent error or checksum mismatch drops it so the miss is consistent
   // on every subsequent lookup.
   Result<std::vector<std::uint8_t>> ReadPayload(SessionId session);
+
+  // Zero-copy variant: streams the payload into `sink` (memory tiers hand
+  // over arena spans directly). The sink observes bytes BEFORE the checksum
+  // verdict; on any non-OK return the caller must discard whatever the sink
+  // built (the bytes may be torn). Failure semantics match ReadPayload.
+  Status ReadPayloadInto(SessionId session, PayloadSink& sink);
 
   // --- Placement management ---------------------------------------------
 
@@ -202,7 +226,7 @@ class AttentionStore {
     SimTime last_access = 0;
     std::uint64_t insert_seq = 0;
     BlockExtent extent;              // valid iff real payloads attached
-    std::uint64_t checksum = 0;      // FNV-1a of the payload (real mode)
+    std::uint64_t checksum = 0;      // Checksum64 of the payload (real mode)
   };
 
   struct TierHealthState {
@@ -214,8 +238,17 @@ class AttentionStore {
     return CapacityBytes(tier) > 0 &&
            tier_health_[static_cast<std::size_t>(tier)].health != TierHealth::kQuarantined;
   }
-  // Fastest enabled tier, in HBM→DRAM→disk order.
-  std::vector<Tier> EnabledTiers() const;
+  // Enabled tiers in HBM→DRAM→disk order. Fixed-size value type: Put calls
+  // this per placement attempt, so it must not heap-allocate.
+  struct TierList {
+    std::array<Tier, kNumTiers> tiers = {};
+    std::size_t count = 0;
+
+    const Tier* begin() const { return tiers.data(); }
+    const Tier* end() const { return tiers.data() + count; }
+    bool empty() const { return count == 0; }
+  };
+  TierList EnabledTiers() const;
   Tier NextSlowerTier(Tier tier) const;
 
   std::uint64_t RoundToBlocks(std::uint64_t bytes) const;
@@ -236,15 +269,30 @@ class AttentionStore {
   // Tier::kNone` after a non-OK return.
   Status MoveRecord(KvRecord& record, Tier target);
 
-  // Reads `record`'s payload from `storage` with bounded transient-retry
-  // and checksum verification; updates tier health and fault stats.
-  Result<std::vector<std::uint8_t>> ReadVerified(BlockStorage& storage, const KvRecord& record,
-                                                 Tier tier);
+  // Shared body of both Put overloads. `payload` is null without real
+  // payloads attached and points at the caller's source otherwise.
+  Status PutImpl(SessionId session, std::uint64_t bytes, std::uint64_t token_count,
+                 PayloadSource* payload, SimTime now, const SchedulerHints& hints);
 
-  // Writes `bytes` to `storage` with bounded transient-retry; updates tier
-  // health and fault stats.
-  Result<BlockExtent> WriteWithRetry(BlockStorage& storage,
-                                     std::span<const std::uint8_t> bytes, Tier tier);
+  // Reads `record`'s payload from `storage` into `out` (exactly record.bytes
+  // long) with bounded transient-retry and checksum verification; updates
+  // tier health, fault stats and per-tier I/O throughput.
+  Status ReadVerifiedInto(BlockStorage& storage, const KvRecord& record, Tier tier,
+                          std::span<std::uint8_t> out);
+
+  // Streaming flavour: the sink sees the bytes before the checksum verdict
+  // (zero-copy single pass); a mismatch surfaces as kDataLoss afterwards.
+  Status ReadVerifiedStream(BlockStorage& storage, const KvRecord& record, Tier tier,
+                            PayloadSink& sink);
+
+  // Writes the payload to `storage` with bounded transient-retry, folding
+  // the checksum in as the bytes stream through; updates tier health, fault
+  // stats and per-tier I/O throughput.
+  struct WriteReceipt {
+    BlockExtent extent;
+    std::uint64_t checksum = 0;
+  };
+  Result<WriteReceipt> WriteWithRetry(BlockStorage& storage, PayloadSource& source, Tier tier);
 
   // Health-machine hooks: a clean op heals a degraded tier; a fault degrades
   // it and — after config.quarantine_after consecutive permanent faults —

@@ -4,14 +4,26 @@
 // record's bytes across fixed-size blocks, read them back given the block
 // list, free the blocks. Implementations:
 //  * PooledBlockStorage — the common allocator-backed base; block I/O is a
-//    pair of protected hooks.
-//  * MemoryBlockStorage — heap arena (the DRAM / HBM tiers).
-//  * FileBlockStorage — one backing file with pread/pwrite at block offsets
-//    (the disk tier of the real-execution path). Opened through a fallible
-//    factory (a missing backing file disables the tier, it never aborts the
-//    process); the file is unlinked in the destructor.
+//    set of protected hooks (per-block plus batched zero-copy variants).
+//  * MemoryBlockStorage — heap arena (the DRAM / HBM tiers). Zero-copy I/O
+//    fills/streams arena memory directly, no staging buffer.
+//  * FileBlockStorage — one backing file (the disk tier of the
+//    real-execution path). Multi-block extents are issued as one batched
+//    submission: io_uring when the kernel allows it, pwritev/preadv
+//    coalescing otherwise, per-block pread/pwrite as the portable floor
+//    (see DiskIoMode). Opened through a fallible factory (a missing backing
+//    file disables the tier, it never aborts the process); the file is
+//    unlinked in the destructor.
 //  * FaultInjectingBlockStorage (fault_injection.h) — decorator that injects
 //    deterministic I/O faults for tests and the store hammer.
+//
+// Zero-copy protocol (DESIGN.md §14): WriteZeroCopy pulls the payload from a
+// PayloadSource — successive Fill(dest) calls hand the producer destination
+// windows that cover the record exactly once, in byte order, so a serializer
+// writes straight into tier block memory (or the disk staging buffer)
+// instead of a caller-side std::vector. ReadZeroCopy pushes the payload into
+// a PayloadSink the same way. Both are restartable: the retry loop calls
+// Reset() and replays the whole transfer.
 //
 // The simulator never attaches payload storage (capacity accounting only);
 // the real-execution engine always does.
@@ -23,8 +35,8 @@
 // AttentionStore turns any of these into a cache miss (DESIGN.md §10);
 // aborting is reserved for in-process invariant violations.
 //
-// Thread safety: Write/Read/Free/UsedBlocks are individually thread-safe
-// (one internal mutex serializes the allocator and the block I/O), so the
+// Thread safety: all public operations are individually thread-safe (one
+// internal mutex serializes the allocator and the block I/O), so the
 // asynchronous KV-save stream and IO threads may share one storage. Callers
 // still coordinate *which* extents they touch: freeing an extent another
 // thread is reading is a logic error the mutex cannot catch.
@@ -32,6 +44,7 @@
 #define CA_STORE_BLOCK_STORAGE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <string>
@@ -53,6 +66,56 @@ struct BlockExtent {
   bool empty() const { return blocks.empty(); }
 };
 
+// Sequential producer of a record's bytes (the zero-copy write protocol).
+// The storage calls Fill with successive destination windows whose sizes
+// sum to size(); the producer must fill each window completely.
+class PayloadSource {
+ public:
+  virtual ~PayloadSource() = default;
+
+  // Total payload bytes this source produces per pass.
+  virtual std::uint64_t size() const = 0;
+
+  // Restarts the cursor at byte 0 (bounded-retry writes replay the pass).
+  virtual void Reset() = 0;
+
+  // Produces the next dest.size() bytes into dest.
+  virtual void Fill(std::span<std::uint8_t> dest) = 0;
+};
+
+// Sequential consumer of a record's bytes (the zero-copy read protocol).
+// Chunks arrive in byte order and cover the record exactly once per pass.
+// NOTE: chunks are streamed BEFORE the store's checksum verdict is known;
+// a consumer must discard everything it built if the surrounding call
+// returns non-OK (see AttentionStore::ReadPayloadInto).
+class PayloadSink {
+ public:
+  virtual ~PayloadSink() = default;
+
+  // Restarts the pass (bounded-retry reads replay the transfer).
+  virtual void Reset() = 0;
+
+  virtual void Consume(std::span<const std::uint8_t> chunk) = 0;
+};
+
+// PayloadSource over a contiguous caller buffer (adapts the legacy
+// copy-path Write(span) onto the zero-copy spine).
+class SpanSource final : public PayloadSource {
+ public:
+  explicit SpanSource(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint64_t size() const override { return bytes_.size(); }
+  void Reset() override { offset_ = 0; }
+  void Fill(std::span<std::uint8_t> dest) override {
+    std::memcpy(dest.data(), bytes_.data() + offset_, dest.size());
+    offset_ += dest.size();
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
 class BlockStorage {
  public:
   BlockStorage() = default;
@@ -64,10 +127,24 @@ class BlockStorage {
   // Allocates blocks and writes `bytes` into them.
   virtual Result<BlockExtent> Write(std::span<const std::uint8_t> bytes) = 0;
 
+  // Allocates blocks and pulls the payload from `source` (zero-copy write
+  // path; see file comment). On failure no blocks stay allocated, but the
+  // source may have been partially consumed — retries must Reset() it.
+  virtual Result<BlockExtent> WriteZeroCopy(PayloadSource& source) = 0;
+
   // Reads a record back. A malformed extent (block count inconsistent with
   // byte_length, or out-of-range block ids) yields kInternal, not an abort:
   // corrupted record metadata must be handleable as a miss.
   virtual Result<std::vector<std::uint8_t>> Read(const BlockExtent& extent) = 0;
+
+  // Reads a record into a caller-owned buffer of exactly extent.byte_length
+  // bytes (bounded retries reuse one allocation). Same failure contract as
+  // Read; `out` contents are unspecified after a failure.
+  virtual Status ReadInto(const BlockExtent& extent, std::span<std::uint8_t> out) = 0;
+
+  // Streams a record into `sink` (zero-copy read path). Memory-backed tiers
+  // pass arena spans directly — no staging copy.
+  virtual Status ReadZeroCopy(const BlockExtent& extent, PayloadSink& sink) = 0;
 
   // Releases a record's blocks. Pure metadata: never touches the device, so
   // it stays safe on a failed tier.
@@ -88,19 +165,41 @@ class PooledBlockStorage : public BlockStorage {
       : allocator_(capacity_bytes, block_bytes) {}
 
   Result<BlockExtent> Write(std::span<const std::uint8_t> bytes) override CA_EXCLUDES(mutex_);
+  Result<BlockExtent> WriteZeroCopy(PayloadSource& source) override CA_EXCLUDES(mutex_);
   Result<std::vector<std::uint8_t>> Read(const BlockExtent& extent) override CA_EXCLUDES(mutex_);
+  Status ReadInto(const BlockExtent& extent, std::span<std::uint8_t> out) override
+      CA_EXCLUDES(mutex_);
+  Status ReadZeroCopy(const BlockExtent& extent, PayloadSink& sink) override CA_EXCLUDES(mutex_);
   void Free(BlockExtent& extent) override CA_EXCLUDES(mutex_);
   std::uint64_t UsedBlocks() const override CA_EXCLUDES(mutex_);
   std::uint64_t block_bytes() const override CA_EXCLUDES(mutex_);
 
  protected:
-  // Block I/O hooks; invoked with mutex_ held.
+  // Block I/O hooks; invoked with mutex_ held. `blocks` is the in-order
+  // block list of one record, `byte_length` its exact size (the last block
+  // is partial). The per-block hooks are the portable floor; the batched
+  // hooks default to looping over them through a staging buffer and are
+  // overridden by backends that can do better (arena direct-fill, batched
+  // file submission).
   virtual Status WriteBlock(BlockId block, std::span<const std::uint8_t> data)
       CA_REQUIRES(mutex_) = 0;
   virtual Status ReadBlock(BlockId block, std::span<std::uint8_t> out) CA_REQUIRES(mutex_) = 0;
 
+  virtual Status WriteBlocksBatch(std::span<const BlockId> blocks, std::uint64_t byte_length,
+                                  PayloadSource& source) CA_REQUIRES(mutex_);
+  virtual Status ReadBlocksBatch(std::span<const BlockId> blocks, std::span<std::uint8_t> out)
+      CA_REQUIRES(mutex_);
+  virtual Status ReadBlocksStream(std::span<const BlockId> blocks, std::uint64_t byte_length,
+                                  PayloadSink& sink) CA_REQUIRES(mutex_);
+
+  // Rejects extents whose shape is inconsistent with the pool (kInternal).
+  Status ValidateExtent(const BlockExtent& extent) const CA_REQUIRES(mutex_);
+
   mutable Mutex mutex_{"store.PooledBlockStorage"};
   BlockAllocator allocator_ CA_GUARDED_BY(mutex_);
+  // Staging buffer for the default batched-hook implementations (one block)
+  // and for file-backed streaming reads (whole extent); grown on demand.
+  std::vector<std::uint8_t> scratch_ CA_GUARDED_BY(mutex_);
   // Medium label on io.write/io.read trace spans; concrete backends override
   // at construction (immutable afterwards).
   const char* trace_medium_ = "mem";  // unguarded: set at construction only
@@ -114,10 +213,38 @@ class MemoryBlockStorage final : public PooledBlockStorage {
   Status WriteBlock(BlockId block, std::span<const std::uint8_t> data)
       CA_REQUIRES(mutex_) override;
   Status ReadBlock(BlockId block, std::span<std::uint8_t> out) CA_REQUIRES(mutex_) override;
+  // Zero-copy overrides: the source fills / the sink reads arena memory
+  // directly, block by block.
+  Status WriteBlocksBatch(std::span<const BlockId> blocks, std::uint64_t byte_length,
+                          PayloadSource& source) CA_REQUIRES(mutex_) override;
+  Status ReadBlocksStream(std::span<const BlockId> blocks, std::uint64_t byte_length,
+                          PayloadSink& sink) CA_REQUIRES(mutex_) override;
 
  private:
+  std::uint8_t* BlockPtr(BlockId block) CA_REQUIRES(mutex_) {
+    return arena_.data() + static_cast<std::uint64_t>(block) * allocator_.block_bytes();
+  }
+
   std::vector<std::uint8_t> arena_ CA_GUARDED_BY(mutex_);
 };
+
+// Disk submission strategy for FileBlockStorage.
+enum class DiskIoMode : std::uint8_t {
+  kAuto = 0,     // io_uring if the kernel allows it, else batched
+  kUring = 1,    // io_uring submission queue (falls back to batched if unavailable)
+  kBatched = 2,  // pwritev/preadv, one syscall per contiguous block run
+  kSync = 3,     // per-block pread/pwrite (the PR3 behaviour; A/B baseline)
+};
+
+struct DiskIoOptions {
+  DiskIoMode mode = DiskIoMode::kAuto;
+  // Open the backing file O_DIRECT and pad tail writes to the 4 KiB DMA
+  // granule. Requires 4 KiB-aligned block_bytes; silently falls back to
+  // buffered I/O on filesystems that reject O_DIRECT (e.g. tmpfs).
+  bool direct_io = false;
+};
+
+class UringQueue;  // raw-syscall io_uring wrapper (uring_io.h)
 
 class FileBlockStorage final : public PooledBlockStorage {
  public:
@@ -125,22 +252,51 @@ class FileBlockStorage final : public PooledBlockStorage {
   // opened — callers (AttentionStore) disable the tier instead of crashing.
   static Result<std::unique_ptr<FileBlockStorage>> Open(std::string path,
                                                         std::uint64_t capacity_bytes,
-                                                        std::uint64_t block_bytes);
+                                                        std::uint64_t block_bytes,
+                                                        DiskIoOptions io = {});
   ~FileBlockStorage() override;
 
   const std::string& path() const { return path_; }
+  // Submission strategy actually in effect after probing (kAuto and kUring
+  // resolve to kBatched when io_uring is unavailable).
+  DiskIoMode io_mode() const { return io_mode_; }
+  bool direct_io() const { return direct_io_; }
 
  protected:
   Status WriteBlock(BlockId block, std::span<const std::uint8_t> data)
       CA_REQUIRES(mutex_) override;
   Status ReadBlock(BlockId block, std::span<std::uint8_t> out) CA_REQUIRES(mutex_) override;
+  Status WriteBlocksBatch(std::span<const BlockId> blocks, std::uint64_t byte_length,
+                          PayloadSource& source) CA_REQUIRES(mutex_) override;
+  Status ReadBlocksBatch(std::span<const BlockId> blocks, std::span<std::uint8_t> out)
+      CA_REQUIRES(mutex_) override;
 
  private:
   FileBlockStorage(std::string path, int fd, std::uint64_t capacity_bytes,
-                   std::uint64_t block_bytes);
+                   std::uint64_t block_bytes, DiskIoMode mode, bool direct,
+                   std::unique_ptr<UringQueue> uring);
+
+  // Grows the O_DIRECT-aligned staging buffer to at least `bytes`.
+  Status EnsureAligned(std::uint64_t bytes) CA_REQUIRES(mutex_);
+
+  // Issues one batched submission (all contiguous block runs of one extent)
+  // through the active backend. `is_write` selects direction; the buffer is
+  // aligned_ for writes and `out` (or aligned_ under O_DIRECT) for reads.
+  Status SubmitRuns(std::span<const BlockId> blocks, std::span<std::uint8_t> buffer,
+                    bool is_write) CA_REQUIRES(mutex_);
 
   const std::string path_;  // immutable after construction
   const int fd_;            // immutable after construction
+  const bool direct_io_;    // immutable after construction
+  DiskIoMode io_mode_;      // unguarded: set at construction / first failed probe only
+  std::unique_ptr<UringQueue> uring_ CA_GUARDED_BY(mutex_);
+
+  // 4 KiB-aligned staging area for batched writes (and O_DIRECT reads).
+  struct AlignedDeleter {
+    void operator()(std::uint8_t* p) const;
+  };
+  std::unique_ptr<std::uint8_t[], AlignedDeleter> aligned_ CA_GUARDED_BY(mutex_);
+  std::uint64_t aligned_bytes_ CA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ca

@@ -66,6 +66,58 @@ Result<BlockExtent> FaultInjectingBlockStorage::Write(std::span<const std::uint8
   return inner_->Write(bytes);
 }
 
+namespace {
+
+// Flips one byte of the stream as it passes from the producer to the device.
+// Wrapping *outside* the store's hashing source means the recorded checksum
+// covers the clean bytes while the device holds the damaged ones — exactly
+// what a torn DMA write looks like to the read path.
+class CorruptingSource final : public PayloadSource {
+ public:
+  CorruptingSource(PayloadSource& inner, std::uint64_t corrupt_pos)
+      : inner_(inner), target_(inner.size() == 0 ? 0 : corrupt_pos % inner.size()) {}
+
+  std::uint64_t size() const override { return inner_.size(); }
+  void Reset() override {
+    inner_.Reset();
+    offset_ = 0;
+  }
+  void Fill(std::span<std::uint8_t> dest) override {
+    inner_.Fill(dest);
+    if (target_ >= offset_ && target_ < offset_ + dest.size()) {
+      dest[target_ - offset_] ^= 0xFF;
+    }
+    offset_ += dest.size();
+  }
+
+ private:
+  PayloadSource& inner_;
+  const std::uint64_t target_;
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace
+
+Result<BlockExtent> FaultInjectingBlockStorage::WriteZeroCopy(PayloadSource& source) {
+  std::uint64_t corrupt_pos = 0;
+  switch (NextOutcome(/*is_read=*/false, &corrupt_pos)) {
+    case Outcome::kPermanent:
+      return IoError("injected permanent write fault");
+    case Outcome::kTransient:
+      return UnavailableError("injected transient write fault");
+    case Outcome::kCorrupt: {
+      if (source.size() == 0) {
+        return inner_->WriteZeroCopy(source);
+      }
+      CorruptingSource torn(source, corrupt_pos);
+      return inner_->WriteZeroCopy(torn);
+    }
+    case Outcome::kOk:
+      break;
+  }
+  return inner_->WriteZeroCopy(source);
+}
+
 Result<std::vector<std::uint8_t>> FaultInjectingBlockStorage::Read(const BlockExtent& extent) {
   std::uint64_t corrupt_pos = 0;
   switch (NextOutcome(/*is_read=*/true, &corrupt_pos)) {
@@ -88,6 +140,58 @@ Result<std::vector<std::uint8_t>> FaultInjectingBlockStorage::Read(const BlockEx
       break;
   }
   return inner_->Read(extent);
+}
+
+Status FaultInjectingBlockStorage::ReadInto(const BlockExtent& extent,
+                                            std::span<std::uint8_t> out) {
+  std::uint64_t corrupt_pos = 0;
+  switch (NextOutcome(/*is_read=*/true, &corrupt_pos)) {
+    case Outcome::kPermanent:
+      return IoError("injected permanent read fault");
+    case Outcome::kTransient:
+      return UnavailableError("injected transient read fault");
+    case Outcome::kCorrupt: {
+      const Status s = inner_->ReadInto(extent, out);
+      if (s.ok() && !out.empty()) {
+        // Short read: everything from the fault position on is lost. Flip
+        // the first lost byte too, so a zero-filled payload still differs.
+        const std::size_t from = corrupt_pos % out.size();
+        std::fill(out.begin() + static_cast<std::ptrdiff_t>(from), out.end(), 0);
+        out[from] ^= 0xFF;
+      }
+      return s;
+    }
+    case Outcome::kOk:
+      break;
+  }
+  return inner_->ReadInto(extent, out);
+}
+
+Status FaultInjectingBlockStorage::ReadZeroCopy(const BlockExtent& extent, PayloadSink& sink) {
+  std::uint64_t corrupt_pos = 0;
+  switch (NextOutcome(/*is_read=*/true, &corrupt_pos)) {
+    case Outcome::kPermanent:
+      return IoError("injected permanent read fault");
+    case Outcome::kTransient:
+      return UnavailableError("injected transient read fault");
+    case Outcome::kCorrupt: {
+      // Stage, damage, then stream: the sink must observe the same torn
+      // bytes a direct consumer of the device would. Chunk granularity is
+      // not part of the sink contract, so one whole-extent chunk is fine.
+      std::vector<std::uint8_t> staged(extent.byte_length);
+      CA_RETURN_IF_ERROR(inner_->ReadInto(extent, staged));
+      if (!staged.empty()) {
+        const std::size_t from = corrupt_pos % staged.size();
+        std::fill(staged.begin() + static_cast<std::ptrdiff_t>(from), staged.end(), 0);
+        staged[from] ^= 0xFF;
+      }
+      sink.Consume(staged);
+      return Status::Ok();
+    }
+    case Outcome::kOk:
+      break;
+  }
+  return inner_->ReadZeroCopy(extent, sink);
 }
 
 void FaultInjectingBlockStorage::Free(BlockExtent& extent) { inner_->Free(extent); }

@@ -72,7 +72,11 @@ class FaultInjectingBlockStorage final : public BlockStorage {
   FaultInjectingBlockStorage(std::unique_ptr<BlockStorage> inner, FaultConfig config);
 
   Result<BlockExtent> Write(std::span<const std::uint8_t> bytes) override CA_EXCLUDES(mutex_);
+  Result<BlockExtent> WriteZeroCopy(PayloadSource& source) override CA_EXCLUDES(mutex_);
   Result<std::vector<std::uint8_t>> Read(const BlockExtent& extent) override CA_EXCLUDES(mutex_);
+  Status ReadInto(const BlockExtent& extent, std::span<std::uint8_t> out) override
+      CA_EXCLUDES(mutex_);
+  Status ReadZeroCopy(const BlockExtent& extent, PayloadSink& sink) override CA_EXCLUDES(mutex_);
   void Free(BlockExtent& extent) override;
   std::uint64_t UsedBlocks() const override;
   std::uint64_t block_bytes() const override;

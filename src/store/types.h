@@ -2,6 +2,7 @@
 #ifndef CA_STORE_TYPES_H_
 #define CA_STORE_TYPES_H_
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <string_view>
@@ -85,6 +86,27 @@ struct StoreStats {
   std::uint64_t tiers_disabled = 0;      // tiers unusable from construction
 
   std::uint64_t io_faults() const { return transient_io_faults + permanent_io_faults; }
+
+  // --- per-tier I/O throughput (DESIGN.md §14) --------------------------
+  // Wall time is accumulated per successful transfer *including* its retry
+  // backoffs, so the derived rate is the effective bandwidth the engine
+  // actually observed, not the device's best case.
+  struct TierIo {
+    std::uint64_t write_bytes = 0;
+    std::uint64_t write_ns = 0;
+    std::uint64_t read_bytes = 0;
+    std::uint64_t read_ns = 0;
+
+    double write_bytes_per_sec() const {
+      return write_ns == 0 ? 0.0
+                           : static_cast<double>(write_bytes) * 1e9 / static_cast<double>(write_ns);
+    }
+    double read_bytes_per_sec() const {
+      return read_ns == 0 ? 0.0
+                          : static_cast<double>(read_bytes) * 1e9 / static_cast<double>(read_ns);
+    }
+  };
+  std::array<TierIo, kNumTiers> tier_io = {};
 
   std::uint64_t hits() const { return hbm_hits + dram_hits + disk_hits; }
   double hit_rate() const {

@@ -1,0 +1,198 @@
+#include "src/store/uring_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define CA_HAVE_URING 1
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace ca {
+
+#ifdef CA_HAVE_URING
+
+namespace {
+
+int SysUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysUringEnter(int fd, unsigned to_submit, unsigned min_complete, unsigned flags) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags, nullptr, 0));
+}
+
+inline unsigned LoadAcquire(const unsigned* p) { return __atomic_load_n(p, __ATOMIC_ACQUIRE); }
+inline void StoreRelease(unsigned* p, unsigned v) { __atomic_store_n(p, v, __ATOMIC_RELEASE); }
+
+}  // namespace
+
+std::unique_ptr<UringQueue> UringQueue::TryCreate(unsigned entries) {
+  io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  const int ring_fd = SysUringSetup(entries, &params);
+  if (ring_fd < 0) {
+    return nullptr;  // ENOSYS / EPERM (seccomp) / EMFILE: caller falls back
+  }
+  auto q = std::unique_ptr<UringQueue>(
+      // NOLINT(naked-new, cppcoreguidelines-owning-memory, modernize-make-unique): private ctor
+      new UringQueue());  // NOLINT(naked-new)
+  q->ring_fd_ = ring_fd;
+  q->sq_entries_ = params.sq_entries;
+  q->cq_entries_ = params.cq_entries;
+
+  q->sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  q->cq_ring_bytes_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap && q->cq_ring_bytes_ > q->sq_ring_bytes_) {
+    q->sq_ring_bytes_ = q->cq_ring_bytes_;
+  }
+  q->sq_ring_ = ::mmap(nullptr, q->sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQ_RING);
+  if (q->sq_ring_ == MAP_FAILED) {
+    q->sq_ring_ = nullptr;
+    return nullptr;
+  }
+  if (single_mmap) {
+    q->cq_ring_ = q->sq_ring_;
+    q->cq_ring_bytes_ = 0;  // owned by the sq mapping
+  } else {
+    q->cq_ring_ = ::mmap(nullptr, q->cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                         MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_CQ_RING);
+    if (q->cq_ring_ == MAP_FAILED) {
+      q->cq_ring_ = nullptr;
+      return nullptr;
+    }
+  }
+  q->sqes_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+  q->sqes_ = ::mmap(nullptr, q->sqes_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                    ring_fd, IORING_OFF_SQES);
+  if (q->sqes_ == MAP_FAILED) {
+    q->sqes_ = nullptr;
+    return nullptr;
+  }
+
+  auto* sq_base = static_cast<std::uint8_t*>(q->sq_ring_);
+  q->sq_head_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.head);
+  q->sq_tail_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.tail);
+  q->sq_mask_ = *reinterpret_cast<unsigned*>(sq_base + params.sq_off.ring_mask);
+  q->sq_array_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.array);
+  auto* cq_base = static_cast<std::uint8_t*>(q->cq_ring_);
+  q->cq_head_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.head);
+  q->cq_tail_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.tail);
+  q->cq_mask_ = *reinterpret_cast<unsigned*>(cq_base + params.cq_off.ring_mask);
+  q->cqes_ = cq_base + params.cq_off.cqes;
+  return q;
+}
+
+UringQueue::~UringQueue() {
+  if (sqes_ != nullptr) {
+    ::munmap(sqes_, sqes_bytes_);
+  }
+  if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) {
+    ::munmap(cq_ring_, cq_ring_bytes_);
+  }
+  if (sq_ring_ != nullptr) {
+    ::munmap(sq_ring_, sq_ring_bytes_);
+  }
+  if (ring_fd_ >= 0) {
+    ::close(ring_fd_);
+  }
+}
+
+Status UringQueue::SubmitBatch(int fd, std::span<const Op> ops) {
+  auto* sqes = static_cast<io_uring_sqe*>(sqes_);
+  unsigned tail = *sq_tail_;  // single producer: plain read of our own tail
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    const unsigned idx = tail & sq_mask_;
+    io_uring_sqe& sqe = sqes[idx];
+    std::memset(&sqe, 0, sizeof(sqe));
+    sqe.opcode = op.write ? IORING_OP_WRITEV : IORING_OP_READV;
+    sqe.fd = fd;
+    sqe.off = op.offset;
+    sqe.addr = reinterpret_cast<std::uint64_t>(op.iov);
+    sqe.len = op.iov_count;
+    sqe.user_data = i;
+    sq_array_[idx] = idx;
+    ++tail;
+  }
+  StoreRelease(sq_tail_, tail);
+
+  // Submit (a signal can interrupt mid-batch; the kernel reports how many
+  // SQEs it consumed, the rest stay queued for the next enter).
+  const auto n = static_cast<unsigned>(ops.size());
+  unsigned submitted = 0;
+  while (submitted < n) {
+    const int ret = SysUringEnter(ring_fd_, n - submitted, 0, 0);
+    if (ret < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return IoError(std::string("io_uring_enter: ") + std::strerror(errno));
+    }
+    submitted += static_cast<unsigned>(ret);
+  }
+  // Reap all n completions.
+  unsigned completed = 0;
+  Status failure = Status::Ok();
+  while (completed < n) {
+    unsigned head = *cq_head_;  // single consumer: plain read of our own head
+    if (head == LoadAcquire(cq_tail_)) {
+      const int ret = SysUringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
+      if (ret < 0 && errno != EINTR) {
+        return IoError(std::string("io_uring_enter(wait): ") + std::strerror(errno));
+      }
+      continue;
+    }
+    const auto* cqe = reinterpret_cast<const io_uring_cqe*>(
+        static_cast<const std::uint8_t*>(cqes_) + (head & cq_mask_) * sizeof(io_uring_cqe));
+    const std::uint64_t op_index = cqe->user_data;
+    const int res = cqe->res;
+    StoreRelease(cq_head_, head + 1);
+    ++completed;
+    if (!failure.ok()) {
+      continue;  // keep draining; report the first failure
+    }
+    if (op_index >= ops.size()) {
+      failure = IoError("io_uring completion for unknown submission");
+    } else if (res < 0) {
+      failure = IoError(std::string("io_uring ") + (ops[op_index].write ? "writev" : "readv") +
+                        ": " + std::strerror(-res));
+    } else if (static_cast<std::uint64_t>(res) != ops[op_index].expected_bytes) {
+      failure = IoError("io_uring short transfer: " + std::to_string(res) + " of " +
+                        std::to_string(ops[op_index].expected_bytes) + " bytes");
+    }
+  }
+  return failure;
+}
+
+Status UringQueue::SubmitAndWait(int fd, std::span<const Op> ops) {
+  std::size_t done = 0;
+  while (done < ops.size()) {
+    const std::size_t batch = std::min<std::size_t>(ops.size() - done, sq_entries_);
+    CA_RETURN_IF_ERROR(SubmitBatch(fd, ops.subspan(done, batch)));
+    done += batch;
+  }
+  return Status::Ok();
+}
+
+#else  // !CA_HAVE_URING
+
+std::unique_ptr<UringQueue> UringQueue::TryCreate(unsigned /*entries*/) { return nullptr; }
+UringQueue::~UringQueue() = default;
+Status UringQueue::SubmitAndWait(int /*fd*/, std::span<const Op> /*ops*/) {
+  return IoError("io_uring not available on this platform");
+}
+Status UringQueue::SubmitBatch(int /*fd*/, std::span<const Op> /*ops*/) {
+  return IoError("io_uring not available on this platform");
+}
+
+#endif  // CA_HAVE_URING
+
+}  // namespace ca

@@ -1,0 +1,85 @@
+// Minimal raw-syscall io_uring wrapper for batched block I/O (DESIGN.md §14).
+//
+// The container toolchain ships the kernel UAPI header (<linux/io_uring.h>)
+// but not liburing, so the ring is driven directly: io_uring_setup + two
+// mmaps for the submission/completion rings, sqe fill, one io_uring_enter
+// per batch with IORING_ENTER_GETEVENTS. One UringQueue serves one
+// FileBlockStorage and is always called with that storage's mutex held, so
+// it needs no internal synchronization.
+//
+// Availability is probed at construction: TryCreate returns nullptr when
+// the kernel (or a seccomp policy — common in containers) refuses
+// io_uring_setup, and FileBlockStorage falls back to pwritev/preadv
+// batching. A failure *after* setup surfaces as kIoError through the normal
+// Status channel so the store's retry/health machinery sees it; it is never
+// CA_CHECKed.
+#ifndef CA_STORE_URING_IO_H_
+#define CA_STORE_URING_IO_H_
+
+#include <sys/uio.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "src/common/status.h"
+
+namespace ca {
+
+class UringQueue {
+ public:
+  // One batched transfer: readv/writev of `iov` at file offset `offset`.
+  // The iovec array must stay alive until SubmitAndWait returns.
+  struct Op {
+    bool write = false;
+    std::uint64_t offset = 0;
+    const struct iovec* iov = nullptr;
+    unsigned iov_count = 0;
+    std::uint64_t expected_bytes = 0;  // completion must transfer exactly this
+  };
+
+  // nullptr when io_uring is unavailable (old kernel, seccomp, non-Linux).
+  static std::unique_ptr<UringQueue> TryCreate(unsigned entries);
+
+  ~UringQueue();
+  UringQueue(const UringQueue&) = delete;
+  UringQueue& operator=(const UringQueue&) = delete;
+
+  // Submits all ops against `fd` (splitting into ring-sized batches when
+  // needed) and waits for every completion. Any failed or short completion
+  // fails the whole call with kIoError — callers treat the extent transfer
+  // as not-happened and may retry or fall back.
+  Status SubmitAndWait(int fd, std::span<const Op> ops);
+
+  unsigned depth() const { return sq_entries_; }
+
+ private:
+  UringQueue() = default;
+
+  Status SubmitBatch(int fd, std::span<const Op> ops);
+
+  int ring_fd_ = -1;
+  unsigned sq_entries_ = 0;
+  unsigned cq_entries_ = 0;
+
+  // Mapped ring state (byte base pointers + derived field pointers).
+  void* sq_ring_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  void* cq_ring_ = nullptr;  // == sq_ring_ under IORING_FEAT_SINGLE_MMAP
+  std::size_t cq_ring_bytes_ = 0;
+  void* sqes_ = nullptr;
+  std::size_t sqes_bytes_ = 0;
+
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  void* cqes_ = nullptr;
+};
+
+}  // namespace ca
+
+#endif  // CA_STORE_URING_IO_H_

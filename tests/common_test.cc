@@ -2,12 +2,16 @@
 // thread pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/common/parallel_for.h"
 #include "src/common/rng.h"
@@ -510,6 +514,91 @@ TEST(ParallelForTest, ReentrantFromPoolTasks) {
   }
   outer.Wait();
   EXPECT_EQ(total.load(), 200);
+}
+
+// --- ChunkedHash64 / Checksum64 ----------------------------------------
+
+std::vector<std::uint8_t> HashTestBytes(std::size_t n) {
+  Rng rng(29);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(rng.NextBounded(256));
+  }
+  return out;
+}
+
+TEST(ChunkedHashTest, ChunkBoundaryInvariance) {
+  // Splitting the input into any Update() sequence must digest identically
+  // to one-shot Checksum64 — the store hashes per tier block during the
+  // write loop and verifies whole-payload on read.
+  const auto data = HashTestBytes(4096 + 37);
+  const std::uint64_t whole = Checksum64(data);
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{7}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        std::size_t{512}, std::size_t{1000}, std::size_t{4096}}) {
+    ChunkedHash64 hash;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      const std::size_t len = std::min(chunk, data.size() - off);
+      hash.Update(std::span<const std::uint8_t>(data.data() + off, len));
+    }
+    EXPECT_EQ(hash.Finalize(), whole) << "chunk size " << chunk;
+    EXPECT_EQ(hash.total_bytes(), data.size());
+  }
+}
+
+TEST(ChunkedHashTest, EmptyAndTinyInputs) {
+  EXPECT_EQ(Checksum64({}), Checksum64({}));
+  const auto a = HashTestBytes(1);
+  const auto b = HashTestBytes(63);  // below one lane group
+  EXPECT_NE(Checksum64(a), Checksum64({}));
+  EXPECT_NE(Checksum64(a), Checksum64(b));
+}
+
+TEST(ChunkedHashTest, TrailingZerosChangeDigest) {
+  // Length is folded in, so "same bytes plus trailing zeros" must differ.
+  std::vector<std::uint8_t> data = HashTestBytes(128);
+  const std::uint64_t before = Checksum64(data);
+  data.push_back(0);
+  EXPECT_NE(Checksum64(data), before);
+}
+
+TEST(ChunkedHashTest, SingleBitFlipChangesDigest) {
+  std::vector<std::uint8_t> data = HashTestBytes(1 << 16);
+  const std::uint64_t before = Checksum64(data);
+  data[data.size() / 2] ^= 0x01;
+  EXPECT_NE(Checksum64(data), before);
+}
+
+TEST(ChunkedHashTest, ScalarAndAvx2KernelsAgree) {
+  // The runtime-dispatched kernels must be digest-identical; sizes straddle
+  // the group boundary to exercise the bulk loop plus the serial tail.
+  if (!ChunkedHashAvx2Available()) {
+    GTEST_SKIP() << "no AVX2 on this CPU";
+  }
+  for (const std::size_t n : {std::size_t{0}, std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, std::size_t{4096}, std::size_t{100003}}) {
+    const auto data = HashTestBytes(n);
+    EXPECT_EQ(internal::ChecksumWithKernel(data, /*use_avx2=*/false),
+              internal::ChecksumWithKernel(data, /*use_avx2=*/true))
+        << "size " << n;
+  }
+}
+
+TEST(ChunkedHashTest, DispatchedKernelMatchesScalar) {
+  // Whatever the boot-time shootout picked, public digests must equal the
+  // scalar reference.
+  const auto data = HashTestBytes(1 << 15);
+  EXPECT_EQ(Checksum64(data), internal::ChecksumWithKernel(data, /*use_avx2=*/false));
+}
+
+TEST(ChunkedHashTest, FinalizeIsIdempotent) {
+  ChunkedHash64 hash;
+  const auto data = HashTestBytes(777);
+  hash.Update(data);
+  const std::uint64_t first = hash.Finalize();
+  EXPECT_EQ(hash.Finalize(), first);
+  hash.Update(data);  // more input after a Finalize is allowed
+  EXPECT_NE(hash.Finalize(), first);
 }
 
 }  // namespace

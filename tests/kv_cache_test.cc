@@ -1,6 +1,9 @@
 // KvCache layout, truncation and serialization tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -200,6 +203,125 @@ TEST(KvCacheTest, DeserializeRejectsTruncatedBuffer) {
   auto bytes = cache.Serialize();
   bytes.pop_back();
   EXPECT_FALSE(KvCache::Deserialize(ModelConfig::Mini(), bytes).ok());
+}
+
+// --- zero-copy serialization (DESIGN.md §14) -----------------------------
+
+TEST(KvCacheZeroCopy, SerializerMatchesSerializeByteForByte) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kDecoupled);
+  FillCache(cache, 9);
+  const auto expected = cache.Serialize();
+  ASSERT_EQ(cache.SerializedSize(), expected.size());
+
+  // Pull through the cursor in awkward window sizes; the concatenation must
+  // be exactly the legacy buffer.
+  for (const std::size_t window : {std::size_t{1}, std::size_t{13}, std::size_t{4096}}) {
+    KvCache::Serializer serializer(cache);
+    ASSERT_EQ(serializer.size(), expected.size());
+    std::vector<std::uint8_t> got(expected.size());
+    for (std::size_t off = 0; off < got.size(); off += window) {
+      const std::size_t len = std::min(window, got.size() - off);
+      serializer.Fill(std::span<std::uint8_t>(got.data() + off, len));
+    }
+    EXPECT_EQ(got, expected) << "window " << window;
+    // Reset replays the pass (the store's bounded write retry).
+    serializer.Reset();
+    std::vector<std::uint8_t> again(expected.size());
+    serializer.Fill(again);
+    EXPECT_EQ(again, expected);
+  }
+}
+
+TEST(KvCacheZeroCopy, SerializeIntoMatchesSerialize) {
+  KvCache cache(ModelConfig::Mini(), PeMode::kCoupled);
+  FillCache(cache, 5);
+  const auto expected = cache.Serialize();
+  std::vector<std::uint8_t> got(cache.SerializedSize());
+  cache.SerializeInto(got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(KvCacheZeroCopy, StreamingDeserializerAnyChunking) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kDecoupled);
+  FillCache(cache, 11);
+  const auto bytes = cache.Serialize();
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{24},
+                                  std::size_t{1000}, bytes.size()}) {
+    KvCache::StreamingDeserializer deserializer(config);
+    for (std::size_t off = 0; off < bytes.size(); off += chunk) {
+      const std::size_t len = std::min(chunk, bytes.size() - off);
+      deserializer.Consume(std::span<const std::uint8_t>(bytes.data() + off, len));
+    }
+    auto restored = deserializer.Finish();
+    ASSERT_TRUE(restored.ok()) << "chunk " << chunk << ": " << restored.status();
+    EXPECT_EQ(restored->Serialize(), bytes) << "chunk " << chunk;
+  }
+}
+
+TEST(KvCacheZeroCopy, StreamingDeserializerResetReplays) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kDecoupled);
+  FillCache(cache, 4);
+  const auto bytes = cache.Serialize();
+  KvCache::StreamingDeserializer deserializer(config);
+  // A torn first pass (half the payload) followed by Reset and a clean
+  // replay — the store's read-retry pattern.
+  deserializer.Consume(std::span<const std::uint8_t>(bytes.data(), bytes.size() / 2));
+  deserializer.Reset();
+  deserializer.Consume(bytes);
+  auto restored = deserializer.Finish();
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->Serialize(), bytes);
+}
+
+TEST(KvCacheZeroCopy, StreamingDeserializerRejectsBadInput) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kDecoupled);
+  FillCache(cache, 3);
+  const auto bytes = cache.Serialize();
+
+  {
+    // Garbage magic.
+    auto junk = bytes;
+    junk[0] ^= 0xFF;
+    KvCache::StreamingDeserializer d(config);
+    d.Consume(junk);
+    EXPECT_FALSE(d.Finish().ok());
+  }
+  {
+    // Truncated payload.
+    KvCache::StreamingDeserializer d(config);
+    d.Consume(std::span<const std::uint8_t>(bytes.data(), bytes.size() - 4));
+    EXPECT_FALSE(d.Finish().ok());
+  }
+  {
+    // Overlong payload: the overshooting chunk must be swallowed, not
+    // written past the tensors.
+    KvCache::StreamingDeserializer d(config);
+    d.Consume(bytes);
+    d.Consume(std::span<const std::uint8_t>(bytes.data(), 8));
+    EXPECT_FALSE(d.Finish().ok());
+  }
+  {
+    // Wrong model config.
+    KvCache::StreamingDeserializer d(ModelConfig::Tiny());
+    d.Consume(bytes);
+    EXPECT_FALSE(d.Finish().ok());
+  }
+}
+
+TEST(KvCacheZeroCopy, EmptyCacheRoundTripsThroughStreaming) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kDecoupled);
+  const auto bytes = cache.Serialize();
+  EXPECT_EQ(bytes.size(), KvCache::kSerializedHeaderBytes);
+  KvCache::StreamingDeserializer deserializer(config);
+  deserializer.Consume(bytes);
+  auto restored = deserializer.Finish();
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_TRUE(restored->empty());
 }
 
 TEST(KvCacheDeathTest, WrongRowSizeAborts) {

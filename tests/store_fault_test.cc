@@ -161,6 +161,67 @@ TEST(FaultInjectionThreadSafety, ParallelFaultyWriteReadFree) {
   EXPECT_GT(storage.fault_stats().faults(), 0ULL);
 }
 
+// --- zero-copy paths under faults (DESIGN.md §14) ------------------------
+
+TEST(FaultInjection, ZeroCopyWriteFaultsLeakNoBlocks) {
+  FaultConfig fc;
+  fc.seed = 21;
+  fc.write_transient_p = 0.3;
+  fc.write_permanent_p = 0.1;
+  FaultInjectingBlockStorage storage(std::make_unique<MemoryBlockStorage>(KiB(64), KiB(4)), fc);
+  const auto payload = Payload(KiB(4) + 50, 6);
+  int failures = 0;
+  for (int i = 0; i < 40; ++i) {
+    SpanSource source(payload);
+    auto w = storage.WriteZeroCopy(source);
+    if (!w.ok()) {
+      ++failures;
+      continue;
+    }
+    auto r = storage.Read(*w);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, payload);
+    storage.Free(*w);
+  }
+  EXPECT_GT(failures, 0);                  // the injector hit the new path
+  EXPECT_EQ(storage.UsedBlocks(), 0ULL);   // failed writes rolled back fully
+}
+
+TEST(FaultInjection, CorruptZeroCopyWriteIsSilentAtTheDevice) {
+  // Write-path corruption mimics a torn write: the operation reports
+  // success and only the stored bytes differ. The store's checksum — not
+  // the storage layer — is what must catch it.
+  FaultConfig fc;
+  fc.write_corrupt_p = 1.0;
+  FaultInjectingBlockStorage storage(std::make_unique<MemoryBlockStorage>(KiB(64), KiB(4)), fc);
+  const auto payload = Payload(KiB(4), 9);
+  SpanSource source(payload);
+  auto w = storage.WriteZeroCopy(source);
+  ASSERT_TRUE(w.ok());
+  auto r = storage.Read(*w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(*r, payload);                  // damaged on the device
+  EXPECT_EQ(r->size(), payload.size());
+  storage.Free(*w);
+}
+
+TEST(FaultInjection, ShortReadIntoCallerBufferDamagesTail) {
+  // Read-path corruption models a short read: the tail of the caller's
+  // buffer is lost. The Status is still OK — detection is the checksum's
+  // job one layer up.
+  FaultConfig fc;
+  fc.read_corrupt_p = 1.0;
+  FaultInjectingBlockStorage storage(std::make_unique<MemoryBlockStorage>(KiB(64), KiB(4)), fc);
+  const auto payload = Payload(KiB(4) + 200, 3);
+  auto w = storage.Write(payload);
+  ASSERT_TRUE(w.ok());
+  std::vector<std::uint8_t> out(payload.size());
+  ASSERT_TRUE(storage.ReadInto(*w, out).ok());
+  EXPECT_NE(out, payload);
+  EXPECT_EQ(out.size(), payload.size());
+  storage.Free(*w);
+}
+
 // --- AttentionStore under faults -----------------------------------------
 
 StoreConfig FaultedConfig() {
@@ -277,6 +338,83 @@ TEST(StoreFault, TornWriteDetectedByChecksumAndDropped) {
   // The poisoned record is gone, so the miss is consistent from now on.
   EXPECT_EQ(store.Lookup(1), Tier::kNone);
   EXPECT_EQ(store.stats().fault_evictions, 1ULL);
+  store.CheckInvariants();
+}
+
+TEST(StoreFault, ZeroCopyTornWriteDetectedByChecksum) {
+  // The zero-copy write hashes bytes as the engine's source produces them —
+  // BEFORE the device can tear them — so a corrupting device still yields a
+  // checksum of the clean bytes and the read path catches the damage.
+  StoreConfig config = FaultedConfig();
+  config.disk_capacity = 0;  // DRAM only
+  config.dram_fault.write_corrupt_p = 1.0;
+  AttentionStore store(config);
+  const auto payload = Payload(KiB(8), 42);
+  SpanSource source(payload);
+  ASSERT_TRUE(store.Put(1, 10, source, 0, kNoHints).ok());
+  auto read = store.ReadPayload(1);
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(store.stats().corrupt_payloads, 1ULL);
+  EXPECT_EQ(store.Lookup(1), Tier::kNone);
+  store.CheckInvariants();
+}
+
+TEST(StoreFault, TornBatchedDiskWriteDetectedByChecksum) {
+  // Same contract on the disk tier's batched (pwritev/io_uring) submission
+  // path: a write that lands damaged is a clean kDataLoss miss on read.
+  StoreConfig config = FaultedConfig();
+  config.disk_io_mode = DiskIoMode::kBatched;
+  config.quarantine_after = 1000;
+  config.disk_fault.write_corrupt_p = 1.0;
+  AttentionStore store(config);
+  const auto payload = Payload(KiB(8), 11);
+  ASSERT_TRUE(store.Put(1, payload.size(), 10, payload, 0, kNoHints).ok());
+  ASSERT_EQ(store.Lookup(1), Tier::kDram);
+  // The demotion's disk write tears silently; the record lands on disk.
+  ASSERT_TRUE(store.Demote(1, 1, kNoHints).ok());
+  ASSERT_EQ(store.Lookup(1), Tier::kDisk);
+  auto read = store.ReadPayload(1);
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(store.stats().corrupt_payloads, 1ULL);
+  EXPECT_EQ(store.Lookup(1), Tier::kNone);
+  store.CheckInvariants();
+}
+
+TEST(StoreFault, ShortReadDetectedByChecksumAndDropped) {
+  StoreConfig config = FaultedConfig();
+  config.disk_capacity = 0;
+  config.dram_fault.read_corrupt_p = 1.0;  // every read comes back short
+  AttentionStore store(config);
+  const auto payload = Payload(KiB(8) + 77, 8);
+  ASSERT_TRUE(store.Put(1, payload.size(), 10, payload, 0, kNoHints).ok());
+  auto read = store.ReadPayload(1);
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(store.stats().corrupt_payloads, 1ULL);
+  EXPECT_EQ(store.Lookup(1), Tier::kNone);  // consistent miss from now on
+  store.CheckInvariants();
+}
+
+TEST(StoreFault, StreamingReadReportsCorruptionAfterSinkSawBytes) {
+  // ReadPayloadInto streams chunks before the verdict; the contract is that
+  // the non-OK Status tells the caller to discard what the sink consumed.
+  StoreConfig config = FaultedConfig();
+  config.disk_capacity = 0;
+  config.dram_fault.read_corrupt_p = 1.0;
+  AttentionStore store(config);
+  const auto payload = Payload(KiB(8), 4);
+  ASSERT_TRUE(store.Put(1, payload.size(), 10, payload, 0, kNoHints).ok());
+  struct CollectSink final : PayloadSink {
+    std::vector<std::uint8_t> data;
+    void Reset() override { data.clear(); }
+    void Consume(std::span<const std::uint8_t> chunk) override {
+      data.insert(data.end(), chunk.begin(), chunk.end());
+    }
+  };
+  CollectSink sink;
+  const Status read = store.ReadPayloadInto(1, sink);
+  EXPECT_EQ(read.code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(sink.data.empty());  // the sink did see (damaged) bytes
+  EXPECT_EQ(store.Lookup(1), Tier::kNone);
   store.CheckInvariants();
 }
 

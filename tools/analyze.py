@@ -223,16 +223,25 @@ def check_content_rules(rel: pathlib.PurePath, text: str) -> List[Violation]:
             hit("no-raw-clock",
                 "use ca::TraceNowNs (src/obs/trace.h) so timestamps "
                 "share the trace timeline; see DESIGN.md §11")
-        if not is_check_impl and (
-            re.search(r"\bCA_CHECK_OK\s*\(", code_line)
-            or (
-                re.search(r"\bCA_CHECK(_\w+)?\s*\(", code_line)
-                and re.search(r"(\.|->)\s*(ok|status)\s*\(", code_line)
-            )
-        ):
-            hit("check-on-status",
-                "propagate the Status instead of aborting on it; in tier "
-                "I/O this must degrade to a miss (DESIGN.md §10)")
+        if not is_check_impl and re.search(r"\bCA_CHECK(_\w+)?\s*\(", code_line):
+            # A CA_CHECK's argument list may wrap (clang-format breaks long
+            # conditions), so scan to the end of the statement — up to 3
+            # continuation lines or the first ';' — not just this line.
+            # Async submission/completion code is the usual offender: the
+            # Status comes back on another line than the CA_CHECK.
+            window_parts = [code_line]
+            if ";" not in code_line:
+                for follow in code_lines[idx + 1:idx + 4]:
+                    window_parts.append(follow)
+                    if ";" in follow:
+                        break
+            window = " ".join(window_parts)
+            if re.search(r"\bCA_CHECK_OK\s*\(", code_line) or re.search(
+                r"(\.|->)\s*(ok|status)\s*\(", window
+            ):
+                hit("check-on-status",
+                    "propagate the Status instead of aborting on it; in tier "
+                    "I/O this must degrade to a miss (DESIGN.md §10)")
         if layer is not None:
             m = re.search(r'^\s*#\s*include\s+"src/([A-Za-z0-9_]+)/', raw)
             if m is not None:

@@ -138,6 +138,30 @@ class AnalyzeTest(unittest.TestCase):
         self.write_layer("model", "layer.cc", "void F() { CA_CHECK(extent.ok()); }\n")
         self.assertIn("check-on-status", self.rules())
 
+    def test_check_on_status_fires_across_wrapped_lines(self):
+        # clang-format wraps long conditions; the Status accessor landing on
+        # a continuation line must still be caught.
+        self.write(
+            "widget.cc",
+            "void F() {\n"
+            "  CA_CHECK(submission_queue.Drain(\n"
+            "               pending_completions)\n"
+            "               .ok());\n"
+            "}\n",
+        )
+        self.assertIn("check-on-status", self.rules())
+
+    def test_check_on_status_window_stops_at_statement_end(self):
+        # The .ok() in the *next* statement must not implicate the CA_CHECK.
+        self.write(
+            "widget.cc",
+            "void F() {\n"
+            "  CA_CHECK(count > 0);\n"
+            "  if (!result.ok()) { return; }\n"
+            "}\n",
+        )
+        self.assertNotIn("check-on-status", self.rules())
+
     def test_check_on_status_exempt_in_check_impl(self):
         self.write_layer(
             "common", "check.h",

@@ -10,6 +10,15 @@ Two uses:
             per-benchmark table either way. CI runs this against the
             committed BENCH_kernels.json trajectory.
 
+  gate      bench_compare.py BASELINE CANDIDATE --gate 'BM_Store' [--threshold 0.25]
+            Hard regression gate over the benchmarks whose names match the
+            regex: compares *throughput* (bytes_per_second, else
+            items_per_second, else inverted real_time) and exits 1 if any
+            matched benchmark dropped by more than the threshold OR is
+            missing from the candidate (a silently-deleted benchmark must
+            not pass the gate). Unlike compare mode this step is not
+            advisory — CI's bench-smoke job fails on it.
+
   ingest    bench_compare.py --ingest RAW.json --rev LABEL --out BENCH.json
             Appends one entry (rev label + name->metrics map) to the
             trajectory file, creating it if missing. This is how
@@ -27,8 +36,9 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import re
 import sys
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 SCHEMA = "ca-bench-kernels-v1"
 
@@ -87,6 +97,79 @@ def compare(baseline: Dict[str, dict], candidate: Dict[str, dict],
     return rows, regressed
 
 
+def throughput_of(metrics: dict) -> Tuple[Optional[float], str]:
+    """Best available 'bigger is better' figure for one benchmark."""
+    for key in ("bytes_per_second", "items_per_second"):
+        value = metrics.get(key)
+        if value:
+            return float(value), key
+    real = metrics.get("real_time")
+    if real and real > 0:
+        # No throughput counter: gate on inverted time so the comparison
+        # direction stays uniform.
+        return 1.0 / float(real), "1/real_time"
+    return None, ""
+
+
+def gate(baseline: Dict[str, dict], candidate: Dict[str, dict],
+         pattern: str, threshold: float) -> Tuple[list, list]:
+    """Returns (report rows, failure messages) for the named-benchmark gate."""
+    regex = re.compile(pattern)
+    names = sorted(n for n in baseline if regex.search(n))
+    rows = []
+    failures = []
+    for name in names:
+        base_tp, key = throughput_of(baseline[name])
+        if base_tp is None:
+            continue
+        if name not in candidate:
+            failures.append(f"{name}: missing from candidate run")
+            rows.append((name, key, base_tp, None, 0.0, "MISSING"))
+            continue
+        cand_tp = candidate[name].get(key) if key != "1/real_time" else None
+        if key == "1/real_time":
+            real = candidate[name].get("real_time")
+            cand_tp = (1.0 / float(real)) if real and real > 0 else None
+        if not cand_tp:
+            failures.append(f"{name}: candidate lacks {key}")
+            rows.append((name, key, base_tp, None, 0.0, "NO METRIC"))
+            continue
+        ratio = float(cand_tp) / base_tp
+        flag = ""
+        if ratio < 1.0 - threshold:
+            flag = "REGRESSION"
+            failures.append(f"{name}: {key} dropped to {ratio:.2f}x of baseline")
+        elif ratio > 1.0 + threshold:
+            flag = "improved"
+        rows.append((name, key, base_tp, float(cand_tp), ratio, flag))
+    return rows, failures
+
+
+def cmd_gate(args: argparse.Namespace) -> int:
+    baseline = load_metrics(pathlib.Path(args.baseline))
+    candidate = load_metrics(pathlib.Path(args.candidate))
+    rows, failures = gate(baseline, candidate, args.gate, args.threshold)
+    if not rows:
+        print(f"bench_compare: no baseline benchmark matches gate '{args.gate}'",
+              file=sys.stderr)
+        return 2
+    width = max(len(r[0]) for r in rows)
+    print(f"{'benchmark':<{width}}  {'metric':>16}  {'baseline':>12}  {'candidate':>12}  {'ratio':>7}")
+    for name, key, base_tp, cand_tp, ratio, flag in rows:
+        cand_str = f"{cand_tp:.3g}" if cand_tp is not None else "-"
+        print(f"{name:<{width}}  {key:>16}  {base_tp:>12.3g}  {cand_str:>12}  "
+              f"{ratio:>6.2f}x  {flag}")
+    if failures:
+        print(f"bench_compare: gate '{args.gate}' FAILED "
+              f"(threshold {args.threshold:.0%}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: gate '{args.gate}' OK "
+          f"({len(rows)} benchmarks within {args.threshold:.0%})")
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     baseline = load_metrics(pathlib.Path(args.baseline))
     candidate = load_metrics(pathlib.Path(args.candidate))
@@ -138,6 +221,9 @@ def main(argv=None) -> int:
     parser.add_argument("candidate", nargs="?", help="candidate JSON (compare mode)")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="relative real_time regression to flag (default 0.25)")
+    parser.add_argument("--gate", metavar="REGEX",
+                        help="hard throughput gate over matching benchmark names "
+                             "(exit 1 on >threshold drop or missing benchmark)")
     parser.add_argument("--ingest", metavar="RAW",
                         help="raw google-benchmark JSON to append to --out")
     parser.add_argument("--rev", default="unlabelled", help="entry label for --ingest")
@@ -148,6 +234,8 @@ def main(argv=None) -> int:
         return cmd_ingest(args)
     if not args.baseline or not args.candidate:
         parser.error("compare mode needs BASELINE and CANDIDATE (or use --ingest)")
+    if args.gate:
+        return cmd_gate(args)
     return cmd_compare(args)
 
 

@@ -26,6 +26,18 @@ def raw_doc(times):
     }
 
 
+def throughput_doc(rates):
+    """Raw google-benchmark JSON with the given {name: bytes_per_second} map."""
+    return {
+        "context": {"host_name": "test"},
+        "benchmarks": [
+            {"name": n, "real_time": 1000.0, "cpu_time": 1000.0, "time_unit": "ns",
+             "bytes_per_second": r}
+            for n, r in rates.items()
+        ],
+    }
+
+
 class ExtractTest(unittest.TestCase):
     def test_raw_format(self):
         metrics = bench_compare.extract_metrics(raw_doc({"BM_A/8": 100.0}))
@@ -74,6 +86,60 @@ class CompareTest(unittest.TestCase):
         rows, regressed = bench_compare.compare(base, cand, 0.25)
         self.assertEqual([r[0] for r in rows], ["BM_A"])
         self.assertEqual(regressed, [])
+
+
+class GateTest(unittest.TestCase):
+    def metrics(self, doc):
+        return bench_compare.extract_metrics(doc)
+
+    def test_gate_passes_within_threshold(self):
+        base = self.metrics(throughput_doc({"BM_Store/1": 10e9, "BM_Other": 1e9}))
+        cand = self.metrics(throughput_doc({"BM_Store/1": 9e9, "BM_Other": 0.1e9}))
+        rows, failures = bench_compare.gate(base, cand, "BM_Store", 0.25)
+        # BM_Other regressed 10x but is outside the gate pattern.
+        self.assertEqual([r[0] for r in rows], ["BM_Store/1"])
+        self.assertEqual(failures, [])
+
+    def test_gate_fails_on_throughput_drop(self):
+        base = self.metrics(throughput_doc({"BM_Store/1": 10e9}))
+        cand = self.metrics(throughput_doc({"BM_Store/1": 5e9}))
+        _, failures = bench_compare.gate(base, cand, "BM_Store", 0.25)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("BM_Store/1", failures[0])
+
+    def test_gate_fails_on_missing_benchmark(self):
+        # A deleted benchmark must not silently pass the gate.
+        base = self.metrics(throughput_doc({"BM_Store/1": 10e9, "BM_Store/2": 10e9}))
+        cand = self.metrics(throughput_doc({"BM_Store/1": 10e9}))
+        _, failures = bench_compare.gate(base, cand, "BM_Store", 0.25)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("missing", failures[0])
+
+    def test_gate_falls_back_to_inverted_real_time(self):
+        # No throughput counters: slower real_time must still fail the gate.
+        base = self.metrics(raw_doc({"BM_StorePutAccess": 100.0}))
+        for name in base:
+            base[name]["items_per_second"] = None
+        cand = self.metrics(raw_doc({"BM_StorePutAccess": 200.0}))
+        for name in cand:
+            cand[name]["items_per_second"] = None
+        _, failures = bench_compare.gate(base, cand, "BM_Store", 0.25)
+        self.assertEqual(len(failures), 1)
+
+    def test_gate_cli_exit_codes(self):
+        tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(tmp.cleanup)
+        d = pathlib.Path(tmp.name)
+        base = d / "base.json"
+        base.write_text(json.dumps(throughput_doc({"BM_Store/1": 10e9})))
+        ok = d / "ok.json"
+        ok.write_text(json.dumps(throughput_doc({"BM_Store/1": 11e9})))
+        bad = d / "bad.json"
+        bad.write_text(json.dumps(throughput_doc({"BM_Store/1": 2e9})))
+        self.assertEqual(bench_compare.main([str(base), str(ok), "--gate", "BM_Store"]), 0)
+        self.assertEqual(bench_compare.main([str(base), str(bad), "--gate", "BM_Store"]), 1)
+        # A pattern matching nothing is a usage error, not a pass.
+        self.assertEqual(bench_compare.main([str(base), str(ok), "--gate", "BM_Nope"]), 2)
 
 
 class CliTest(unittest.TestCase):
