@@ -7,6 +7,10 @@
 // the tracked BENCH_kernels.json perf trajectory; see README "Kernel
 // benchmarks".
 #include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
 
 #include "src/common/hash.h"
 #include "src/common/mutex.h"
@@ -239,6 +243,47 @@ BENCHMARK(BM_StoreReadOnly)
     ->Args({1 << 20, 0})
     ->Args({16 << 20, 1})
     ->Args({16 << 20, 0});
+
+// Durable open cost (DESIGN.md §15): replay the metadata journal and adopt
+// K disk-resident records. Setup seeds the store once; every iteration is a
+// full AttentionStore::Open against the same files. Recovery compacts the
+// journal on its way out, so iterations replay a snapshot-sized journal —
+// the steady state a long-lived store restarts from. Arg = record count.
+void BM_StoreRecoveryOpen(benchmark::State& state) {
+  StoreBenchSetup();
+  const auto records = static_cast<std::uint64_t>(state.range(0));
+  const std::string path =
+      "/tmp/ca_bench_recovery." + std::to_string(::getpid()) + ".blocks";
+  std::remove(path.c_str());
+  std::remove((path + ".meta").c_str());
+  StoreConfig config;
+  config.hbm_capacity = 0;
+  config.dram_capacity = 0;
+  config.disk_capacity = GiB(1);
+  config.block_bytes = KiB(64);
+  config.real_payloads = true;
+  config.durable = true;
+  config.disk_path = path;
+  {
+    auto opened = AttentionStore::Open(config);
+    CA_CHECK(opened.ok()) << opened.status();
+    const SchedulerHints hints;
+    const std::vector<std::uint8_t> payload(KiB(64), 0x5A);
+    for (std::uint64_t s = 1; s <= records; ++s) {
+      CA_CHECK(
+          opened->Put(s, payload.size(), 100, payload, static_cast<SimTime>(s), hints).ok());
+    }
+  }
+  for (auto _ : state) {
+    auto reopened = AttentionStore::Open(config);
+    CA_CHECK(reopened.ok()) << reopened.status();
+    benchmark::DoNotOptimize(reopened->RecordCount());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(records));
+  std::remove(path.c_str());
+  std::remove((path + ".meta").c_str());
+}
+BENCHMARK(BM_StoreRecoveryOpen)->Arg(16)->Arg(256);
 
 // The checksum primitive itself: args are {bytes, use_avx2}. The AVX2 row
 // is skipped (reported as 0 iterations) on machines without the ISA.

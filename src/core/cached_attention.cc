@@ -1,6 +1,7 @@
 #include "src/core/cached_attention.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
@@ -48,14 +49,32 @@ class DeserializerSink final : public PayloadSink {
   KvCache::StreamingDeserializer& deserializer_;
 };
 
+// The engine always stores real payloads: capacity-only mode exists for the
+// simulator, not the execution path.
+StoreConfig PatchedStoreConfig(const EngineOptions& options) {
+  StoreConfig c = options.store;
+  c.real_payloads = true;
+  return c;
+}
+
 }  // namespace
 
 CachedAttentionEngine::CachedAttentionEngine(const Transformer* model, EngineOptions options)
-    : model_(model), options_(std::move(options)), store_([this] {
-        StoreConfig c = options_.store;
-        c.real_payloads = true;
-        return c;
-      }()) {
+    : CachedAttentionEngine(StoreTag(), model, options,
+                            AttentionStore(PatchedStoreConfig(options))) {}
+
+Result<std::unique_ptr<CachedAttentionEngine>> CachedAttentionEngine::Create(
+    const Transformer* model, EngineOptions options) {
+  CA_ASSIGN_OR_RETURN(AttentionStore store, AttentionStore::Open(PatchedStoreConfig(options)));
+  auto engine = std::make_unique<CachedAttentionEngine>(StoreTag(), model, std::move(options),
+                                                        std::move(store));
+  CA_RETURN_IF_ERROR(engine->RestoreSessions());
+  return engine;
+}
+
+CachedAttentionEngine::CachedAttentionEngine(StoreTag, const Transformer* model,
+                                             EngineOptions options, AttentionStore store)
+    : model_(model), options_(std::move(options)), store_(std::move(store)) {
   CA_CHECK(model_ != nullptr);
   auto& registry = MetricsRegistry::Global();
   turns_counter_ = &registry.GetCounter("engine.turns");
@@ -68,6 +87,43 @@ CachedAttentionEngine::CachedAttentionEngine(const Transformer* model, EngineOpt
 }
 
 CachedAttentionEngine::~CachedAttentionEngine() { Flush(); }
+
+Status CachedAttentionEngine::RestoreSessions() {
+  if (!options_.store.durable) {
+    return Status::Ok();
+  }
+  MutexLock lock(mutex_);
+  std::size_t restored = 0;
+  std::size_t dropped = 0;
+  // Recovery only resurrects the disk tier (memory tiers died with the old
+  // process), so every recovered record lives there.
+  for (const SessionId id : store_.SessionsInTier(Tier::kDisk)) {
+    const auto info = store_.GetInfo(id);
+    CA_CHECK(info.has_value());
+    const std::vector<std::uint8_t>* meta = store_.UserMeta(id);
+    const bool usable = meta != nullptr && !meta->empty() &&
+                        meta->size() % sizeof(TokenId) == 0 &&
+                        meta->size() / sizeof(TokenId) == info->token_count;
+    if (!usable) {
+      // KV bytes without a believable token history cannot serve a turn
+      // (PrepareCache needs the text to detect length mismatches). Soft
+      // state: drop to a clean miss.
+      store_.Remove(id);
+      ++dropped;
+      continue;
+    }
+    SessionState& state = sessions_[id];
+    state.history.resize(meta->size() / sizeof(TokenId));
+    std::memcpy(state.history.data(), meta->data(), meta->size());
+    ++restored;
+  }
+  if (restored > 0 || dropped > 0) {
+    CA_LOG(Info) << "restored " << restored << " session(s) from the durable store"
+                 << (dropped > 0 ? " (" + std::to_string(dropped) + " dropped: no usable history)"
+                                 : "");
+  }
+  return Status::Ok();
+}
 
 void CachedAttentionEngine::Flush() {
   if (write_stream_ != nullptr) {
@@ -267,7 +323,7 @@ Result<Tensor> CachedAttentionEngine::ForwardTurn(SessionId session,
 
   state.history.insert(state.history.end(), tokens.begin(), tokens.end());
   if (options_.reuse_kv) {
-    SaveCache(session, cache);
+    SaveCache(session, cache, state.history);
   }
 
   AccumulateTurnStats(result);
@@ -342,7 +398,7 @@ Result<TurnResult> CachedAttentionEngine::Converse(SessionId session,
 
   if (options_.reuse_kv) {
     result.compressed_tokens = MaybeCompress(state, cache, mass.mass());
-    SaveCache(session, cache);
+    SaveCache(session, cache, state.history);
   }
 
   AccumulateTurnStats(result);
@@ -399,11 +455,21 @@ std::size_t CachedAttentionEngine::MaybeCompress(SessionState& state, KvCache& c
   return discard.size();
 }
 
-void CachedAttentionEngine::SaveCache(SessionId session, const KvCache& cache) {
+void CachedAttentionEngine::SaveCache(SessionId session, const KvCache& cache,
+                                      std::span<const TokenId> history) {
   if (cache.seq_len() == 0) {
     return;
   }
   const std::uint64_t tokens = cache.seq_len();
+  // Durable stores persist the visible token history next to the payload so
+  // a restarted process can rebuild the session (RestoreSessions). Raw
+  // host-endian TokenId bytes — the journal treats the blob as opaque.
+  std::span<const std::uint8_t> user_meta;
+  if (options_.store.durable) {
+    CA_CHECK_EQ(history.size(), cache.seq_len());
+    user_meta = std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(history.data()), history.size() * sizeof(TokenId));
+  }
   if (write_stream_ == nullptr) {
     // Synchronous save: the serializer cursor feeds the store's zero-copy
     // Put, so the KV bytes go tensors → tier block memory in one pass with
@@ -413,7 +479,7 @@ void CachedAttentionEngine::SaveCache(SessionId session, const KvCache& cache) {
     CA_TRACE_SPAN("engine.save", "session", session, "bytes", source.size());
     MutexLock lock(mutex_);
     const SchedulerHints hints = CurrentHintsLocked();
-    const Status s = store_.Put(session, tokens, source, WallNow(), hints);
+    const Status s = store_.Put(session, tokens, source, WallNow(), hints, user_meta);
     if (!s.ok()) {
       CA_LOG(Debug) << "KV save for session " << session << " dropped: " << s;
     }
@@ -422,12 +488,15 @@ void CachedAttentionEngine::SaveCache(SessionId session, const KvCache& cache) {
   // Serialize now: the cache buffer is only valid during this turn, and the
   // async stream outlives it, so the payload must be materialised before it
   // crosses threads. (The store side still moves vector → tier zero-copy.)
+  // The history blob is copied for the same reason.
   std::vector<std::uint8_t> payload = cache.Serialize();
+  std::vector<std::uint8_t> meta_copy(user_meta.begin(), user_meta.end());
   // Invoked with mutex_ held (the stream task below locks first).
-  auto do_put = [this, session, tokens](const std::vector<std::uint8_t>& bytes) {
+  auto do_put = [this, session, tokens](const std::vector<std::uint8_t>& bytes,
+                                        const std::vector<std::uint8_t>& meta) {
     mutex_.AssertHeld();
     const SchedulerHints hints = CurrentHintsLocked();
-    const Status s = store_.Put(session, bytes.size(), tokens, bytes, WallNow(), hints);
+    const Status s = store_.Put(session, bytes.size(), tokens, bytes, WallNow(), hints, meta);
     if (!s.ok()) {
       CA_LOG(Debug) << "KV save for session " << session << " dropped: " << s;
     }
@@ -444,12 +513,13 @@ void CachedAttentionEngine::SaveCache(SessionId session, const KvCache& cache) {
     MutexLock lock(mutex_);
     pending_saves_.insert(session);
   }
-  write_stream_->Submit([this, session, flow, do_put, payload = std::move(payload)] {
+  write_stream_->Submit([this, session, flow, do_put, payload = std::move(payload),
+                         meta_copy = std::move(meta_copy)] {
     {
       CA_TRACE_SPAN("engine.save.async", "session", session, "bytes", payload.size());
       CA_TRACE_FLOW_END("engine.save.async", flow);
       MutexLock lock(mutex_);
-      do_put(payload);
+      do_put(payload, meta_copy);
       pending_saves_.erase(session);
     }
     save_done_.NotifyAll();

@@ -108,9 +108,39 @@ struct EngineStats {
 };
 
 class CachedAttentionEngine {
+ private:
+  // Passkey for the store-injecting constructor below: the constructor is
+  // public so make_unique can reach it, but only class members can mint the
+  // tag — construction with a caller-built store stays behind Create().
+  struct StoreTag {
+    explicit StoreTag() = default;
+  };
+
  public:
   // `model` must outlive the engine.
+  //
+  // This constructor serves ephemeral stores only; it CHECK-fails when
+  // `options.store.durable` is set (a durable open can fail, so it needs
+  // the fallible factory below).
   CachedAttentionEngine(const Transformer* model, EngineOptions options);
+
+  // Fallible construction path. For ephemeral stores this is equivalent to
+  // the constructor; for durable stores (options.store.durable) it opens —
+  // and, after an unclean death, recovers — the on-disk tier, then rebuilds
+  // the per-session token histories from the user-meta blobs the engine
+  // persists alongside each KV payload. Recovered sessions resume exactly
+  // where they left off (bitwise-identical replies under greedy decode);
+  // sessions whose metadata or payload did not survive are clean misses.
+  // Fails (kFailedPrecondition / kInvalidArgument / kIoError) when the
+  // durable open cannot be satisfied — see AttentionStore::Open.
+  static Result<std::unique_ptr<CachedAttentionEngine>> Create(const Transformer* model,
+                                                               EngineOptions options);
+
+  // Store-injecting constructor backing both the public constructor and
+  // Create(); the StoreTag passkey keeps it out of public reach.
+  CachedAttentionEngine(StoreTag, const Transformer* model, EngineOptions options,
+                        AttentionStore store);
+
   ~CachedAttentionEngine();
 
   CachedAttentionEngine(const CachedAttentionEngine&) = delete;
@@ -179,6 +209,12 @@ class CachedAttentionEngine {
     std::vector<TokenId> history;  // token text, already truncation-clamped
   };
 
+  // Rebuilds sessions_ from the recovered store's user-meta blobs (token
+  // histories saved by SaveCache in durable mode). Records whose blob is
+  // missing or inconsistent with the record's token count are removed from
+  // the store — a recompute miss, never a wrong answer.
+  Status RestoreSessions() CA_EXCLUDES(mutex_);
+
   // Prepares the KV cache for a turn: handles overflow, loads from the
   // store or recomputes. On return `cache` holds exactly the history
   // prefix; `result` has hit/truncation accounting filled in.
@@ -197,7 +233,12 @@ class CachedAttentionEngine {
   // worker threads serialize their accounting here.
   void AccumulateTurnStats(const TurnResult& result) CA_EXCLUDES(mutex_);
 
-  void SaveCache(SessionId session, const KvCache& cache) CA_EXCLUDES(mutex_);
+  // `history` is the session's full visible token text, already aligned
+  // with the cache (history.size() == cache.seq_len()). Durable stores
+  // persist it as the record's user-meta blob so Create() can rebuild the
+  // session after a restart; ephemeral stores ignore it.
+  void SaveCache(SessionId session, const KvCache& cache, std::span<const TokenId> history)
+      CA_EXCLUDES(mutex_);
   void WaitForPendingSave(SessionId session) CA_EXCLUDES(mutex_);
   SchedulerHints CurrentHintsLocked() const CA_REQUIRES(mutex_);
   PeMode pe_mode() const {

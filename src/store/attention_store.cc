@@ -123,6 +123,11 @@ std::string_view TierHealthName(TierHealth health) {
 }
 
 AttentionStore::AttentionStore(StoreConfig config)
+    : AttentionStore(std::move(config), /*defer_disk=*/false) {
+  CA_CHECK(!config_.durable) << "durable stores must be created through AttentionStore::Open";
+}
+
+AttentionStore::AttentionStore(StoreConfig config, bool defer_disk)
     : config_(std::move(config)), policy_(MakeEvictionPolicy(config_.eviction_policy)) {
   CA_CHECK_GT(config_.block_bytes, 0ULL);
   auto& registry = MetricsRegistry::Global();
@@ -145,11 +150,13 @@ AttentionStore::AttentionStore(StoreConfig config)
           std::make_unique<MemoryBlockStorage>(config_.dram_capacity, config_.block_bytes),
           config_.dram_fault);
     }
-    if (config_.disk_capacity > 0) {
+    if (config_.disk_capacity > 0 && !defer_disk) {
+      DiskIoOptions io;
+      io.mode = config_.disk_io_mode;
+      io.direct_io = config_.disk_direct_io;
       auto disk =
           FileBlockStorage::Open(config_.disk_path, config_.disk_capacity, config_.block_bytes,
-                                 DiskIoOptions{.mode = config_.disk_io_mode,
-                                               .direct_io = config_.disk_direct_io});
+                                 io);
       if (disk.ok()) {
         storages_[static_cast<std::size_t>(Tier::kDisk)] =
             MaybeInjectFaults(std::move(*disk), config_.disk_fault);
@@ -162,6 +169,187 @@ AttentionStore::AttentionStore(StoreConfig config)
         ++stats_.tiers_disabled;
       }
     }
+  }
+}
+
+Result<AttentionStore> AttentionStore::Open(StoreConfig config) {
+  if (!config.durable) {
+    return AttentionStore(std::move(config), /*defer_disk=*/false);
+  }
+  if (!config.real_payloads) {
+    return InvalidArgumentError("durable stores require real_payloads");
+  }
+  if (config.disk_path.empty()) {
+    return InvalidArgumentError(
+        "durable stores require an explicit stable disk_path: the auto-unique default "
+        "embeds the pid and cannot be re-found after a restart");
+  }
+  if (config.disk_capacity < config.block_bytes) {
+    return InvalidArgumentError("durable stores need a disk tier (disk_capacity >= block_bytes)");
+  }
+  AttentionStore store(std::move(config), /*defer_disk=*/true);
+  CA_RETURN_IF_ERROR(store.OpenDurable());
+  return store;
+}
+
+namespace {
+
+// Identity stamped into a fresh journal/payload pair so a mismatched pair
+// (one file replaced or restored from elsewhere) is detected at Open.
+std::uint64_t FreshStoreId() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t mix[3] = {TraceNowNs(), static_cast<std::uint64_t>(::getpid()),
+                                counter.fetch_add(1)};
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(mix);
+  return Checksum64(std::span<const std::uint8_t>(bytes, sizeof mix)) | 1;  // never 0
+}
+
+}  // namespace
+
+Status AttentionStore::OpenDurable() {
+  MetaStore::Options mopts;
+  mopts.fsync = config_.meta_fsync;
+  mopts.fsync_every_n = config_.meta_fsync_every_n;
+  mopts.compact_threshold_bytes = config_.meta_compact_threshold;
+  mopts.fault = config_.meta_fault;
+  CA_ASSIGN_OR_RETURN(meta_, MetaStore::Open(config_.disk_path + ".meta", config_.block_bytes,
+                                             FreshStoreId(), std::move(mopts)));
+  DiskIoOptions io;
+  io.mode = config_.disk_io_mode;
+  io.direct_io = config_.disk_direct_io;
+  io.persist = true;
+  io.reuse_existing = meta_->recovered_existing();
+  io.store_id = meta_->store_id();
+  io.crash = config_.meta_fault.crash;
+  io.crash_after_block_writes = config_.disk_crash_after_block_writes;
+  auto disk =
+      FileBlockStorage::Open(config_.disk_path, config_.disk_capacity, config_.block_bytes, io);
+  if (!disk.ok()) {
+    // Unlike the ephemeral constructor, a durable open refuses to guess: a
+    // payload file that is missing or does not match the journal's identity
+    // means the pair was split, and silently serving an empty store would
+    // hide that from the operator.
+    return disk.status();
+  }
+  storages_[static_cast<std::size_t>(Tier::kDisk)] =
+      MaybeInjectFaults(std::move(*disk), config_.disk_fault);
+  return RecoverFromJournal();
+}
+
+Status AttentionStore::RecoverFromJournal() {
+  const std::uint64_t start_ns = TraceNowNs();
+  recovery_stats_ = meta_->recovery_stats();
+  BlockStorage* disk = Storage(Tier::kDisk);
+  CA_CHECK(disk != nullptr);
+
+  // Adopt in insert order so next_insert_seq_ and FIFO-ish policies see the
+  // same relative ages an uninterrupted store would.
+  std::vector<const MetaRecord*> candidates;
+  candidates.reserve(meta_->live().size());
+  for (const auto& [id, rec] : meta_->live()) {
+    candidates.push_back(&rec);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const MetaRecord* a, const MetaRecord* b) { return a->insert_seq < b->insert_seq; });
+
+  std::vector<SessionId> dropped;
+  for (const MetaRecord* rec : candidates) {
+    BlockExtent extent{.blocks = rec->blocks, .byte_length = rec->bytes};
+    Status adopted = rec->bytes == 0 ? FailedPreconditionError("journaled record is empty")
+                                     : disk->AdoptExtent(extent);
+    if (adopted.ok() && config_.recover_verify_payloads) {
+      std::vector<std::uint8_t> data(rec->bytes);
+      Status read = disk->ReadInto(extent, data);
+      if (read.ok() && config_.verify_checksums && Checksum64(data) != rec->checksum) {
+        read = DataLossError("recovered payload failed checksum verification");
+      }
+      if (!read.ok()) {
+        disk->Free(extent);
+        adopted = std::move(read);
+      }
+    }
+    if (!adopted.ok()) {
+      // Dangling record: the journal references blocks that no longer line
+      // up with the payload file (torn write, reused blocks, external
+      // damage). A clean miss, never corruption.
+      CA_LOG(Warn) << "recovery dropped session " << rec->session << ": " << adopted;
+      ++recovery_stats_.records_reconciled_missing;
+      dropped.push_back(rec->session);
+      continue;
+    }
+    KvRecord record{.session = rec->session,
+                    .tier = Tier::kDisk,
+                    .bytes = rec->bytes,
+                    .block_bytes = RoundToBlocks(rec->bytes),
+                    .token_count = rec->token_count,
+                    .last_access = rec->last_access,
+                    .insert_seq = rec->insert_seq,
+                    .extent = std::move(extent),
+                    .checksum = rec->checksum};
+    used_bytes_[static_cast<std::size_t>(Tier::kDisk)] += record.block_bytes;
+    next_insert_seq_ = std::max(next_insert_seq_, rec->insert_seq + 1);
+    records_.emplace(rec->session, std::move(record));
+    ++recovery_stats_.records_recovered;
+  }
+  for (const SessionId session : dropped) {
+    const Status erased = meta_->Erase(session);
+    if (!erased.ok()) {
+      CA_LOG(Warn) << "journal erase of dropped session " << session << " failed: " << erased;
+    }
+  }
+  // One compaction so the next open replays a snapshot, not history.
+  const Status compacted = meta_->Compact();
+  if (!compacted.ok()) {
+    CA_LOG(Warn) << "post-recovery journal compaction failed: " << compacted;
+  }
+  recovery_stats_.replay_ns = meta_->recovery_stats().replay_ns + (TraceNowNs() - start_ns);
+  CheckInvariants();
+  return Status::Ok();
+}
+
+const std::vector<std::uint8_t>* AttentionStore::UserMeta(SessionId session) const {
+  return meta_ == nullptr ? nullptr : meta_->UserMeta(session);
+}
+
+void AttentionStore::JournalUpsert(const KvRecord& record,
+                                   std::span<const std::uint8_t> user_meta,
+                                   bool keep_existing_user_meta) {
+  if (meta_ == nullptr) {
+    return;
+  }
+  MetaRecord rec;
+  rec.session = record.session;
+  rec.tier = record.tier;
+  rec.bytes = record.bytes;
+  rec.token_count = record.token_count;
+  rec.last_access = record.last_access;
+  rec.insert_seq = record.insert_seq;
+  rec.checksum = record.checksum;
+  if (record.tier == Tier::kDisk) {
+    rec.blocks = record.extent.blocks;
+  }
+  if (keep_existing_user_meta) {
+    if (const std::vector<std::uint8_t>* existing = meta_->UserMeta(record.session)) {
+      rec.user_meta = *existing;
+    }
+  } else {
+    rec.user_meta.assign(user_meta.begin(), user_meta.end());
+  }
+  const Status s = meta_->Upsert(std::move(rec));
+  if (!s.ok()) {
+    // Journal loss degrades the next recovery (stale entries reconcile to
+    // misses through checksums and block-ownership), it never blocks serving.
+    CA_LOG(Warn) << "metadata journal append failed for session " << record.session << ": " << s;
+  }
+}
+
+void AttentionStore::JournalErase(SessionId session) {
+  if (meta_ == nullptr) {
+    return;
+  }
+  const Status s = meta_->Erase(session);
+  if (!s.ok()) {
+    CA_LOG(Warn) << "metadata journal erase failed for session " << session << ": " << s;
   }
 }
 
@@ -270,6 +458,30 @@ void AttentionStore::CheckInvariants() const {
           << TierName(tier) << " allocator blocks drifted from the resident extents";
     }
   }
+  if (meta_ != nullptr) {
+    // Durable mode: the journal's live table must mirror records_ exactly
+    // (last_access excluded — Access refreshes are not journaled).
+    CA_CHECK_EQ(meta_->live().size(), records_.size())
+        << "journal live table size drifted from the record map";
+    for (const auto& [id, r] : records_) {
+      const auto mit = meta_->live().find(id);
+      CA_CHECK(mit != meta_->live().end()) << "session " << id << " missing from the journal";
+      const MetaRecord& m = mit->second;
+      CA_CHECK(m.tier == r.tier) << "session " << id << " journal tier drifted";
+      CA_CHECK_EQ(m.bytes, r.bytes) << "session " << id << " journal size drifted";
+      CA_CHECK_EQ(m.token_count, r.token_count)
+          << "session " << id << " journal token count drifted";
+      CA_CHECK_EQ(m.insert_seq, r.insert_seq) << "session " << id << " journal seq drifted";
+      CA_CHECK_EQ(m.checksum, r.checksum) << "session " << id << " journal checksum drifted";
+      if (r.tier == Tier::kDisk) {
+        CA_CHECK(m.blocks == r.extent.blocks)
+            << "session " << id << " journal extent drifted from the disk extent";
+      } else {
+        CA_CHECK(m.blocks.empty())
+            << "session " << id << " journals a disk extent while memory-resident";
+      }
+    }
+  }
 }
 
 void AttentionStore::CorruptUsedBytesForTesting(Tier tier, std::int64_t delta) {
@@ -352,6 +564,7 @@ void AttentionStore::PurgeQuarantined() {
       KvRecord& r = records_.at(id);
       (void)MoveRecord(r, Tier::kNone);  // allocator-only free: safe on a dead device
       records_.erase(id);
+      JournalErase(id);
       ++stats_.fault_evictions;
     }
   }
@@ -607,6 +820,7 @@ bool AttentionStore::EnsureRoom(Tier tier, std::uint64_t needed, SessionId exclu
         demoted = true;
         ++stats_.demotions;
         stats_.bytes_demoted += r.bytes;
+        JournalUpsert(r, {}, /*keep_existing_user_meta=*/true);
       } else {
         ++stats_.failed_moves;
         move_failed = true;
@@ -624,6 +838,7 @@ bool AttentionStore::EnsureRoom(Tier tier, std::uint64_t needed, SessionId exclu
         ++stats_.evictions_out;
       }
       records_.erase(*victim);
+      JournalErase(*victim);
     }
   }
   return true;
@@ -631,24 +846,26 @@ bool AttentionStore::EnsureRoom(Tier tier, std::uint64_t needed, SessionId exclu
 
 Status AttentionStore::Put(SessionId session, std::uint64_t bytes, std::uint64_t token_count,
                            std::span<const std::uint8_t> payload, SimTime now,
-                           const SchedulerHints& hints) {
+                           const SchedulerHints& hints, std::span<const std::uint8_t> user_meta) {
   if (config_.real_payloads) {
     CA_CHECK_EQ(payload.size(), bytes) << "real-payload store requires the payload";
     SpanSource source(payload);
-    return PutImpl(session, bytes, token_count, &source, now, hints);
+    return PutImpl(session, bytes, token_count, &source, now, hints, user_meta);
   }
   CA_CHECK(payload.empty()) << "payload passed to capacity-only store";
-  return PutImpl(session, bytes, token_count, nullptr, now, hints);
+  return PutImpl(session, bytes, token_count, nullptr, now, hints, user_meta);
 }
 
 Status AttentionStore::Put(SessionId session, std::uint64_t token_count, PayloadSource& payload,
-                           SimTime now, const SchedulerHints& hints) {
+                           SimTime now, const SchedulerHints& hints,
+                           std::span<const std::uint8_t> user_meta) {
   CA_CHECK(config_.real_payloads) << "zero-copy Put on capacity-only store";
-  return PutImpl(session, payload.size(), token_count, &payload, now, hints);
+  return PutImpl(session, payload.size(), token_count, &payload, now, hints, user_meta);
 }
 
 Status AttentionStore::PutImpl(SessionId session, std::uint64_t bytes, std::uint64_t token_count,
-                               PayloadSource* payload, SimTime now, const SchedulerHints& hints) {
+                               PayloadSource* payload, SimTime now, const SchedulerHints& hints,
+                               std::span<const std::uint8_t> user_meta) {
   CA_CHECK_GT(bytes, 0ULL);
   CA_TRACE_SPAN("store.put", "session", session, "bytes", bytes);
 
@@ -706,7 +923,9 @@ Status AttentionStore::PutImpl(SessionId session, std::uint64_t bytes, std::uint
     }
     used_bytes_[static_cast<std::size_t>(tier)] += block_bytes;
     record.tier = tier;
-    records_.emplace(session, std::move(record));
+    const auto [rit, inserted] = records_.emplace(session, std::move(record));
+    CA_CHECK(inserted);
+    JournalUpsert(rit->second, user_meta, /*keep_existing_user_meta=*/false);
     if (existed) {
       ++stats_.updates;
     } else {
@@ -715,6 +934,11 @@ Status AttentionStore::PutImpl(SessionId session, std::uint64_t bytes, std::uint
     PurgeQuarantined();
     MaybeAudit();
     return Status::Ok();
+  }
+  // The record (if any) was released up-front; a failed re-Put must leave
+  // the journal agreeing that the session is gone.
+  if (existed) {
+    JournalErase(session);
   }
   PurgeQuarantined();
   MaybeAudit();
@@ -758,6 +982,7 @@ Result<std::vector<std::uint8_t>> AttentionStore::ReadPayload(SessionId session)
     // the record so this miss is consistent on every subsequent lookup.
     (void)MoveRecord(r, Tier::kNone);
     records_.erase(it);
+    JournalErase(session);
     ++stats_.fault_evictions;
   }
   PurgeQuarantined();
@@ -785,6 +1010,7 @@ Status AttentionStore::ReadPayloadInto(SessionId session, PayloadSink& sink) {
     // additionally discards whatever the sink consumed before the verdict.
     (void)MoveRecord(r, Tier::kNone);
     records_.erase(it);
+    JournalErase(session);
     ++stats_.fault_evictions;
   }
   PurgeQuarantined();
@@ -817,6 +1043,7 @@ Status AttentionStore::Promote(SessionId session, SimTime now, const SchedulerHi
     ++stats_.failed_moves;
     if (r.tier == Tier::kNone) {  // source payload unrecoverable: record released
       records_.erase(it);
+      JournalErase(session);
       ++stats_.fault_evictions;
     }
     PurgeQuarantined();
@@ -825,6 +1052,7 @@ Status AttentionStore::Promote(SessionId session, SimTime now, const SchedulerHi
   }
   ++stats_.promotions;
   stats_.bytes_promoted += r.bytes;
+  JournalUpsert(r, {}, /*keep_existing_user_meta=*/true);
   PurgeQuarantined();
   MaybeAudit();
   return Status::Ok();
@@ -851,6 +1079,7 @@ Status AttentionStore::Demote(SessionId session, SimTime now, const SchedulerHin
     ++stats_.failed_moves;
     if (r.tier == Tier::kNone) {  // source payload unrecoverable: record released
       records_.erase(it);
+      JournalErase(session);
       ++stats_.fault_evictions;
     }
     PurgeQuarantined();
@@ -859,6 +1088,7 @@ Status AttentionStore::Demote(SessionId session, SimTime now, const SchedulerHin
   }
   ++stats_.demotions;
   stats_.bytes_demoted += r.bytes;
+  JournalUpsert(r, {}, /*keep_existing_user_meta=*/true);
   PurgeQuarantined();
   MaybeAudit();
   return Status::Ok();
@@ -884,6 +1114,7 @@ std::size_t AttentionStore::MaintainDramBuffer(SimTime now, const SchedulerHints
         moved_down = true;
         ++stats_.demotions;
         stats_.bytes_demoted += r.bytes;
+        JournalUpsert(r, {}, /*keep_existing_user_meta=*/true);
       } else {
         ++stats_.failed_moves;
         move_failed = true;
@@ -899,6 +1130,7 @@ std::size_t AttentionStore::MaintainDramBuffer(SimTime now, const SchedulerHints
         ++stats_.evictions_out;
       }
       records_.erase(*victim);
+      JournalErase(*victim);
     }
     ++demoted;
   }
@@ -921,6 +1153,7 @@ void AttentionStore::Remove(SessionId session) {
   }
   (void)MoveRecord(it->second, Tier::kNone);
   records_.erase(it);
+  JournalErase(session);
   MaybeAudit();
 }
 
@@ -938,6 +1171,7 @@ std::size_t AttentionStore::ExpireTtl(SimTime now) {
     KvRecord& r = records_.at(id);
     (void)MoveRecord(r, Tier::kNone);
     records_.erase(id);
+    JournalErase(id);
   }
   stats_.ttl_expirations += expired.size();
   MaybeAudit();
@@ -996,6 +1230,23 @@ void AttentionStore::PublishMetrics(MetricsRegistry* registry) const {
     reg.GetGauge("store.io_read_bytes_per_sec", labels).Set(io.read_bytes_per_sec());
   }
   reg.GetGauge("store.records").Set(static_cast<double>(RecordCount()));
+  if (meta_ != nullptr) {
+    const RecoveryStats& rs = recovery_stats_;
+    gauge("store_recovery.journal_entries_replayed",
+          static_cast<double>(rs.journal_entries_replayed));
+    gauge("store_recovery.records_recovered", static_cast<double>(rs.records_recovered));
+    gauge("store_recovery.records_discarded_volatile",
+          static_cast<double>(rs.records_discarded_volatile));
+    gauge("store_recovery.records_discarded_torn",
+          static_cast<double>(rs.records_discarded_torn));
+    gauge("store_recovery.torn_tail_bytes", static_cast<double>(rs.torn_tail_bytes));
+    gauge("store_recovery.records_conflict_dropped",
+          static_cast<double>(rs.records_conflict_dropped));
+    gauge("store_recovery.records_reconciled_missing",
+          static_cast<double>(rs.records_reconciled_missing));
+    gauge("store_recovery.replay_ns", static_cast<double>(rs.replay_ns));
+    gauge("store_recovery.journal_bytes", static_cast<double>(meta_->journal_bytes()));
+  }
 }
 
 }  // namespace ca

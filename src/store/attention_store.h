@@ -31,6 +31,7 @@
 #include "src/store/block_storage.h"
 #include "src/store/eviction_policy.h"
 #include "src/store/fault_injection.h"
+#include "src/store/meta_store.h"
 #include "src/store/types.h"
 
 namespace ca {
@@ -100,6 +101,34 @@ struct StoreConfig {
   // Disk-tier submission strategy and O_DIRECT staging (real_payloads only).
   DiskIoMode disk_io_mode = DiskIoMode::kAuto;
   bool disk_direct_io = false;
+
+  // --- durability (DESIGN.md §15) -------------------------------------
+
+  // Journaled metadata + persistent disk tier: AttentionStore::Open() can
+  // rebuild the warm disk tier after an unclean process death. Requires
+  // real_payloads and an explicit, stable disk_path (the auto-unique
+  // default cannot be re-found after a restart). Durable stores are
+  // constructed through AttentionStore::Open, never the constructor.
+  bool durable = false;
+
+  // Journal fsync policy. The in-process kill-restart tests pass under
+  // kNone (the page cache survives the simulated SIGKILL); power-loss
+  // durability needs kEveryN/kAlways.
+  MetaFsyncPolicy meta_fsync = MetaFsyncPolicy::kNone;
+  std::uint32_t meta_fsync_every_n = 64;
+
+  // Journal size that triggers compaction into a fresh snapshot.
+  std::uint64_t meta_compact_threshold = MiB(1);
+
+  // Verify every recovered record's payload checksum during Open (one full
+  // read of the warm tier). Off, verification happens lazily on first read,
+  // which catches the same corruption one access later.
+  bool recover_verify_payloads = false;
+
+  // Crash schedules (tests): the journal's fault points, plus the payload
+  // device's fail-after-N block-write schedule (shares meta_fault.crash).
+  MetaFaultConfig meta_fault;
+  std::uint64_t disk_crash_after_block_writes = 0;
 };
 
 // Public view of one record.
@@ -113,7 +142,19 @@ struct KvRecordInfo {
 
 class AttentionStore {
  public:
+  // Direct construction is for non-durable configs only (aborts otherwise):
+  // a durable open can fail (journal/payload mismatch) and must be able to
+  // report it, which a constructor cannot.
   explicit AttentionStore(StoreConfig config);
+
+  // Fallible factory. Non-durable configs behave exactly like the
+  // constructor. Durable configs open (or create) the journal and payload
+  // files under disk_path, replay the journal, reconcile every recovered
+  // record against the on-disk extents, and serve the survivors as disk
+  // hits (DESIGN.md §15). Fails with kInvalidArgument on an unusable
+  // durable config, kFailedPrecondition when journal and payload disagree
+  // (version, block size, store id), kIoError when the files are unusable.
+  static Result<AttentionStore> Open(StoreConfig config);
 
   const StoreConfig& config() const { return config_; }
   const StoreStats& stats() const { return stats_; }
@@ -140,15 +181,19 @@ class AttentionStore {
   // is dropped and kResourceExhausted is returned.
   //
   // `payload` must be non-empty iff real_payloads is configured.
+  // `user_meta` is an opaque caller blob journaled with the record in
+  // durable mode (the engine stores the serialized token history so
+  // recovered sessions replay bitwise-identically); ignored otherwise.
   Status Put(SessionId session, std::uint64_t bytes, std::uint64_t token_count,
-             std::span<const std::uint8_t> payload, SimTime now, const SchedulerHints& hints);
+             std::span<const std::uint8_t> payload, SimTime now, const SchedulerHints& hints,
+             std::span<const std::uint8_t> user_meta = {});
 
   // Zero-copy variant (real_payloads only): pulls the record's bytes from
   // `payload` straight into tier block memory; the checksum is folded in
   // per block while the bytes stream through (DESIGN.md §14). The source
   // may be consumed multiple times (Reset + replay) by the retry loop.
   Status Put(SessionId session, std::uint64_t token_count, PayloadSource& payload, SimTime now,
-             const SchedulerHints& hints);
+             const SchedulerHints& hints, std::span<const std::uint8_t> user_meta = {});
 
   // Reads a record's payload (real-payload mode only), verifying its
   // checksum. Any failure is miss-equivalent for the caller: transient
@@ -192,6 +237,15 @@ class AttentionStore {
   std::vector<SessionId> SessionsInTier(Tier tier) const;
   TierHealth tier_health(Tier tier) const;
 
+  // What the last durable Open recovered (all-zero for fresh/non-durable
+  // stores). Also published as "store_recovery.*" gauges.
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  // The opaque blob journaled with the session's record via Put(...,
+  // user_meta) — null for unknown sessions or non-durable stores. The
+  // pointer is invalidated by any store mutation.
+  const std::vector<std::uint8_t>* UserMeta(SessionId session) const;
+
   // Audits the store's internal consistency, aborting (CA_CHECK) on the
   // first violation. Checked invariants:
   //  * every record sits in an enabled tier, has bytes > 0, and its charged
@@ -203,6 +257,10 @@ class AttentionStore {
   //    charge, and each tier's allocator has exactly the blocks of its
   //    resident records allocated (no leaks, no double-ownership);
   //  * without real payloads: no record owns an extent.
+  //  * durable mode: the journal's live table mirrors records_ exactly —
+  //    same sessions, and per record the same tier/bytes/token_count/
+  //    insert_seq/checksum, with block lists matching for disk residents
+  //    (last_access excluded: Access refreshes are not journaled).
   // Runs automatically after every mutating operation when config.audit is
   // set.
   void CheckInvariants() const;
@@ -269,10 +327,31 @@ class AttentionStore {
   // Tier::kNone` after a non-OK return.
   Status MoveRecord(KvRecord& record, Tier target);
 
+  // Delegated ctor: defer_disk leaves the disk tier unattached so the
+  // durable Open path can attach a persistent FileBlockStorage + journal
+  // before any record exists.
+  AttentionStore(StoreConfig config, bool defer_disk);
+
+  // Durable-open plumbing (DESIGN.md §15): opens journal + persistent
+  // payload file, then replays.
+  Status OpenDurable();
+  // Rebuilds records_ from the replayed journal: adopts each record's
+  // extent in the payload allocator, optionally verifies payload checksums,
+  // and drops anything that disagrees as a clean miss.
+  Status RecoverFromJournal();
+
+  // Journal hooks: mirror a record mutation into the MetaStore (no-ops on
+  // non-durable stores). Append failures are logged and swallowed — journal
+  // loss degrades the *next* recovery, it never blocks serving.
+  void JournalUpsert(const KvRecord& record, std::span<const std::uint8_t> user_meta,
+                     bool keep_existing_user_meta);
+  void JournalErase(SessionId session);
+
   // Shared body of both Put overloads. `payload` is null without real
   // payloads attached and points at the caller's source otherwise.
   Status PutImpl(SessionId session, std::uint64_t bytes, std::uint64_t token_count,
-                 PayloadSource* payload, SimTime now, const SchedulerHints& hints);
+                 PayloadSource* payload, SimTime now, const SchedulerHints& hints,
+                 std::span<const std::uint8_t> user_meta);
 
   // Reads `record`'s payload from `storage` into `out` (exactly record.bytes
   // long) with bounded transient-retry and checksum verification; updates
@@ -326,6 +405,12 @@ class AttentionStore {
   bool quarantine_pending_ = false;  // set by MarkQuarantined, cleared by PurgeQuarantined
   std::uint64_t next_insert_seq_ = 0;
   StoreStats stats_;
+
+  // Durable mode only (null otherwise). Mirrors records_: CheckInvariants
+  // cross-checks the two (last_access excluded — Access refreshes are not
+  // journaled, stale recency after recovery is acceptable).
+  std::unique_ptr<MetaStore> meta_;
+  RecoveryStats recovery_stats_;
 
   // Live registry handles, cached at construction (registration is a map
   // lookup; Access is the store's hottest read path).

@@ -33,6 +33,33 @@ Result<std::vector<BlockId>> BlockAllocator::Allocate(std::uint64_t n) {
   return out;
 }
 
+Status BlockAllocator::AllocateSpecific(std::span<const BlockId> blocks) {
+  for (const BlockId id : blocks) {
+    if (id >= total_blocks_) {
+      return FailedPreconditionError("block " + std::to_string(id) + " out of range (pool has " +
+                                     std::to_string(total_blocks_) + " blocks)");
+    }
+    if (allocated_[id]) {
+      return FailedPreconditionError("block " + std::to_string(id) + " already allocated");
+    }
+  }
+  // A block repeated within the request passes the scan above; catch it
+  // while marking and unwind so the failure claims nothing.
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (allocated_[blocks[i]]) {
+      for (std::size_t j = 0; j < i; ++j) {
+        allocated_[blocks[j]] = false;
+      }
+      return FailedPreconditionError("block " + std::to_string(blocks[i]) +
+                                     " repeated in request");
+    }
+    allocated_[blocks[i]] = true;
+  }
+  // free_list_ ∩ allocated_ is exactly the set just marked.
+  std::erase_if(free_list_, [this](BlockId id) { return allocated_[id]; });
+  return Status::Ok();
+}
+
 void BlockAllocator::Free(std::span<const BlockId> blocks) {
   for (const BlockId id : blocks) {
     CA_CHECK_LT(id, total_blocks_);

@@ -36,6 +36,12 @@ class BlockAllocator {
   // (allocating zero blocks succeeds with an empty list).
   Result<std::vector<BlockId>> Allocate(std::uint64_t n);
 
+  // Claims exactly `blocks` (recovery re-attaches extents that survived a
+  // restart; DESIGN.md §15). Fails with kFailedPrecondition — claiming
+  // nothing — if any block is out of range, already allocated, or repeated
+  // within the request.
+  Status AllocateSpecific(std::span<const BlockId> blocks);
+
   // Returns blocks to the free list. Double-free aborts.
   void Free(std::span<const BlockId> blocks);
 

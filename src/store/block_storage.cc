@@ -11,6 +11,7 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/common/hash.h"
 #include "src/obs/trace.h"
 #include "src/store/uring_io.h"
 
@@ -29,7 +30,35 @@ constexpr std::uint64_t RoundUpDirect(std::uint64_t n) {
   return (n + kDirectAlign - 1) / kDirectAlign * kDirectAlign;
 }
 
+// Persistent-mode superblock (DESIGN.md §15): one O_DIRECT-sized header
+// region ahead of block 0. Fields are stored host-endian — the journal and
+// payload file are a local pair, never shipped across architectures.
+constexpr std::uint64_t kSuperblockBytes = kDirectAlign;
+constexpr std::uint32_t kPayloadMagic = 0x50424143;  // "CABP"
+constexpr std::uint32_t kPayloadVersion = 1;
+// Byte layout: [0] magic u32, [4] version u32, [8] block_bytes u64,
+// [16] capacity_bytes u64, [24] store_id u64, [32] Fnv1a64 over [0,32).
+constexpr std::uint64_t kSuperblockPayloadBytes = 32;
+
+void PutU32(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, sizeof v); }
+void PutU64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, sizeof v); }
+std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
 }  // namespace
+
+Status BlockStorage::AdoptExtent(const BlockExtent& extent) {
+  (void)extent;
+  return FailedPreconditionError("this storage backend cannot adopt extents");
+}
 
 Result<BlockExtent> PooledBlockStorage::Write(std::span<const std::uint8_t> bytes) {
   SpanSource source(bytes);
@@ -134,6 +163,12 @@ Status PooledBlockStorage::ReadBlocksStream(std::span<const BlockId> blocks,
   return Status::Ok();
 }
 
+Status PooledBlockStorage::AdoptExtent(const BlockExtent& extent) {
+  MutexLock lock(mutex_);
+  CA_RETURN_IF_ERROR(ValidateExtent(extent));
+  return allocator_.AllocateSpecific(extent.blocks);
+}
+
 void PooledBlockStorage::Free(BlockExtent& extent) {
   MutexLock lock(mutex_);
   allocator_.Free(extent.blocks);
@@ -203,7 +238,11 @@ Result<std::unique_ptr<FileBlockStorage>> FileBlockStorage::Open(std::string pat
                                                                  std::uint64_t block_bytes,
                                                                  DiskIoOptions io) {
   bool direct = io.direct_io && block_bytes % kDirectAlign == 0;
-  int flags = O_RDWR | O_CREAT | O_TRUNC;
+  const bool reuse = io.persist && io.reuse_existing;
+  int flags = O_RDWR | O_CREAT;
+  if (!reuse) {
+    flags |= O_TRUNC;
+  }
   int fd = -1;
   if (direct) {
     fd = ::open(path.c_str(), flags | O_DIRECT, 0644);
@@ -216,6 +255,82 @@ Result<std::unique_ptr<FileBlockStorage>> FileBlockStorage::Open(std::string pat
   }
   if (fd < 0) {
     return IoError("cannot open " + path + ": " + std::strerror(errno));
+  }
+
+  if (io.persist) {
+    // Validate or stamp the superblock through an O_DIRECT-compatible
+    // aligned buffer.
+    void* raw = nullptr;
+    if (::posix_memalign(&raw, kDirectAlign, kSuperblockBytes) != 0) {
+      ::close(fd);
+      return ResourceExhaustedError("cannot allocate superblock buffer");
+    }
+    const std::unique_ptr<std::uint8_t[], AlignedDeleter> sb(static_cast<std::uint8_t*>(raw));
+    const auto fail = [&](Status status) {
+      ::close(fd);
+      return status;
+    };
+    if (reuse) {
+      std::size_t got = 0;
+      while (got < kSuperblockBytes) {
+        const ssize_t n = ::pread(fd, sb.get() + got, kSuperblockBytes - got,
+                                  static_cast<off_t>(got));
+        if (n < 0) {
+          return fail(IoError(path + ": superblock read: " + std::strerror(errno)));
+        }
+        if (n == 0) {
+          return fail(FailedPreconditionError(
+              path + ": payload file has no superblock (truncated or never created); "
+                     "remove the metadata journal to start fresh"));
+        }
+        got += static_cast<std::size_t>(n);
+      }
+      const std::span<const std::uint8_t> head(sb.get(), kSuperblockPayloadBytes);
+      if (Fnv1a64(head) != GetU64(sb.get() + 32)) {
+        return fail(FailedPreconditionError(path + ": payload superblock corrupt"));
+      }
+      if (GetU32(sb.get()) != kPayloadMagic) {
+        return fail(FailedPreconditionError(path + ": not a payload file (bad magic)"));
+      }
+      if (GetU32(sb.get() + 4) != kPayloadVersion) {
+        return fail(FailedPreconditionError(
+            path + ": payload format version " + std::to_string(GetU32(sb.get() + 4)) +
+            ", this build expects " + std::to_string(kPayloadVersion)));
+      }
+      if (GetU64(sb.get() + 8) != block_bytes) {
+        return fail(FailedPreconditionError(
+            path + ": payload written with block_bytes=" + std::to_string(GetU64(sb.get() + 8)) +
+            ", store configured with " + std::to_string(block_bytes)));
+      }
+      if (GetU64(sb.get() + 24) != io.store_id) {
+        return fail(FailedPreconditionError(
+            path + ": payload store id does not match the metadata journal "
+                   "(the pair was not created together)"));
+      }
+      // Stored capacity_bytes is informational: a shrunk pool simply makes
+      // out-of-range recovered extents reconcile to clean misses.
+    } else {
+      std::memset(sb.get(), 0, kSuperblockBytes);
+      PutU32(sb.get(), kPayloadMagic);
+      PutU32(sb.get() + 4, kPayloadVersion);
+      PutU64(sb.get() + 8, block_bytes);
+      PutU64(sb.get() + 16, capacity_bytes);
+      PutU64(sb.get() + 24, io.store_id);
+      PutU64(sb.get() + 32, Fnv1a64(std::span<const std::uint8_t>(sb.get(),
+                                                                  kSuperblockPayloadBytes)));
+      std::size_t written = 0;
+      while (written < kSuperblockBytes) {
+        const ssize_t n = ::pwrite(fd, sb.get() + written, kSuperblockBytes - written,
+                                   static_cast<off_t>(written));
+        if (n < 0) {
+          return fail(IoError(path + ": superblock write: " + std::strerror(errno)));
+        }
+        written += static_cast<std::size_t>(n);
+      }
+      if (::fdatasync(fd) != 0) {
+        return fail(IoError(path + ": superblock fdatasync: " + std::strerror(errno)));
+      }
+    }
   }
 
   // Resolve the submission strategy. kAuto/kUring probe the kernel once at
@@ -234,32 +349,39 @@ Result<std::unique_ptr<FileBlockStorage>> FileBlockStorage::Open(std::string pat
   return std::unique_ptr<FileBlockStorage>(
       // NOLINT(naked-new, cppcoreguidelines-owning-memory, modernize-make-unique): private ctor
       new FileBlockStorage(std::move(path), fd, capacity_bytes, block_bytes,  // NOLINT(naked-new)
-                           mode, direct, std::move(uring)));
+                           mode, direct, std::move(uring), io));
 }
 
 FileBlockStorage::FileBlockStorage(std::string path, int fd, std::uint64_t capacity_bytes,
                                    std::uint64_t block_bytes, DiskIoMode mode, bool direct,
-                                   std::unique_ptr<UringQueue> uring)
+                                   std::unique_ptr<UringQueue> uring, const DiskIoOptions& io)
     : PooledBlockStorage(capacity_bytes, block_bytes),
       path_(std::move(path)),
       fd_(fd),
       direct_io_(direct),
+      persist_(io.persist),
+      data_offset_(io.persist ? kSuperblockBytes : 0),
+      store_id_(io.store_id),
       io_mode_(mode),
-      uring_(std::move(uring)) {
+      uring_(std::move(uring)),
+      crash_(io.crash),
+      crash_after_block_writes_(io.crash_after_block_writes) {
   trace_medium_ = "disk";
 }
 
 FileBlockStorage::~FileBlockStorage() {
   if (fd_ >= 0) {
     ::close(fd_);
-    ::unlink(path_.c_str());
+    if (!persist_) {
+      ::unlink(path_.c_str());
+    }
   }
 }
 
 Status FileBlockStorage::WriteBlock(BlockId block, std::span<const std::uint8_t> data) {
   CA_CHECK_LE(data.size(), allocator_.block_bytes());
-  const auto offset =
-      static_cast<off_t>(static_cast<std::uint64_t>(block) * allocator_.block_bytes());
+  const auto offset = static_cast<off_t>(
+      data_offset_ + static_cast<std::uint64_t>(block) * allocator_.block_bytes());
   std::size_t written = 0;
   while (written < data.size()) {
     const ssize_t n = ::pwrite(fd_, data.data() + written, data.size() - written,
@@ -274,8 +396,8 @@ Status FileBlockStorage::WriteBlock(BlockId block, std::span<const std::uint8_t>
 
 Status FileBlockStorage::ReadBlock(BlockId block, std::span<std::uint8_t> out) {
   CA_CHECK_LE(out.size(), allocator_.block_bytes());
-  const auto offset =
-      static_cast<off_t>(static_cast<std::uint64_t>(block) * allocator_.block_bytes());
+  const auto offset = static_cast<off_t>(
+      data_offset_ + static_cast<std::uint64_t>(block) * allocator_.block_bytes());
   std::size_t got = 0;
   while (got < out.size()) {
     const ssize_t n =
@@ -309,7 +431,11 @@ Status FileBlockStorage::EnsureAligned(std::uint64_t bytes) {
 
 Status FileBlockStorage::WriteBlocksBatch(std::span<const BlockId> blocks,
                                           std::uint64_t byte_length, PayloadSource& source) {
-  if (io_mode_ == DiskIoMode::kSync) {
+  if (io_mode_ == DiskIoMode::kSync && crash_ == nullptr) {
+    // With a crash schedule attached even kSync stages below: the source
+    // must always be consumed in full (a HashingSource folds the in-memory
+    // record checksum as it fills), while only the device submission is
+    // truncated or skipped.
     return PooledBlockStorage::WriteBlocksBatch(blocks, byte_length, source);
   }
   // Stage the payload contiguously in the aligned buffer (one Fill per block,
@@ -327,7 +453,33 @@ Status FileBlockStorage::WriteBlocksBatch(std::span<const BlockId> blocks,
   if (staged > byte_length) {
     std::memset(aligned_.get() + byte_length, 0, staged - byte_length);
   }
-  return SubmitRuns(blocks, std::span<std::uint8_t>(aligned_.get(), staged), /*is_write=*/true);
+  std::span<const BlockId> submit = blocks;
+  std::uint64_t submit_bytes = staged;
+  if (crash_ != nullptr) {
+    if (crash_->frozen.load(std::memory_order_relaxed)) {
+      return Status::Ok();  // post-crash: the bytes never reach the device
+    }
+    if (crash_after_block_writes_ > 0) {
+      const std::uint64_t before = crash_blocks_written_;
+      crash_blocks_written_ += blocks.size();
+      if (crash_blocks_written_ >= crash_after_block_writes_) {
+        // Simulated SIGKILL mid-extent: blocks up to device write #N land,
+        // the rest never reach the file, and everything after is frozen.
+        const std::uint64_t allowed = crash_after_block_writes_ - before;
+        crash_->frozen.store(true, std::memory_order_relaxed);
+        submit = blocks.first(static_cast<std::size_t>(allowed));
+        submit_bytes = std::min<std::uint64_t>(byte_length, allowed * block_bytes);
+        if (direct_io_) {
+          submit_bytes = RoundUpDirect(submit_bytes);
+        }
+      }
+    }
+  }
+  if (submit.empty()) {
+    return Status::Ok();
+  }
+  return SubmitRuns(submit, std::span<std::uint8_t>(aligned_.get(), submit_bytes),
+                    /*is_write=*/true);
 }
 
 Status FileBlockStorage::ReadBlocksBatch(std::span<const BlockId> blocks,
@@ -414,7 +566,8 @@ Status FileBlockStorage::SubmitRuns(std::span<const BlockId> blocks,
       run_bytes += chunk;
     }
     ops.push_back(UringQueue::Op{.write = is_write,
-                                 .offset = static_cast<std::uint64_t>(blocks[i]) * block_bytes,
+                                 .offset = data_offset_ +
+                                           static_cast<std::uint64_t>(blocks[i]) * block_bytes,
                                  .iov = iov.data() + iov_begin,
                                  .iov_count = static_cast<unsigned>(iov.size() - iov_begin),
                                  .expected_bytes = run_bytes});

@@ -12,8 +12,10 @@
 //    submission: io_uring when the kernel allows it, pwritev/preadv
 //    coalescing otherwise, per-block pread/pwrite as the portable floor
 //    (see DiskIoMode). Opened through a fallible factory (a missing backing
-//    file disables the tier, it never aborts the process); the file is
-//    unlinked in the destructor.
+//    file disables the tier, it never aborts the process); ephemeral files
+//    are unlinked in the destructor, persistent ones (DiskIoOptions::persist,
+//    the durable disk tier of DESIGN.md §15) carry a versioned superblock
+//    and survive it.
 //  * FaultInjectingBlockStorage (fault_injection.h) — decorator that injects
 //    deterministic I/O faults for tests and the store hammer.
 //
@@ -54,6 +56,7 @@
 #include "src/common/status.h"
 #include "src/common/thread_annotations.h"
 #include "src/store/block_allocator.h"
+#include "src/store/types.h"
 
 namespace ca {
 
@@ -146,6 +149,13 @@ class BlockStorage {
   // pass arena spans directly — no staging copy.
   virtual Status ReadZeroCopy(const BlockExtent& extent, PayloadSink& sink) = 0;
 
+  // Claims the exact blocks of `extent` without touching the device
+  // (recovery re-attaches extents that survived a restart; DESIGN.md §15).
+  // Fails with kFailedPrecondition — claiming nothing — if any block is
+  // unavailable or the extent shape is inconsistent with the pool. Backends
+  // without an allocator reject every extent.
+  virtual Status AdoptExtent(const BlockExtent& extent);
+
   // Releases a record's blocks. Pure metadata: never touches the device, so
   // it stays safe on a failed tier.
   virtual void Free(BlockExtent& extent) = 0;
@@ -170,6 +180,7 @@ class PooledBlockStorage : public BlockStorage {
   Status ReadInto(const BlockExtent& extent, std::span<std::uint8_t> out) override
       CA_EXCLUDES(mutex_);
   Status ReadZeroCopy(const BlockExtent& extent, PayloadSink& sink) override CA_EXCLUDES(mutex_);
+  Status AdoptExtent(const BlockExtent& extent) override CA_EXCLUDES(mutex_);
   void Free(BlockExtent& extent) override CA_EXCLUDES(mutex_);
   std::uint64_t UsedBlocks() const override CA_EXCLUDES(mutex_);
   std::uint64_t block_bytes() const override CA_EXCLUDES(mutex_);
@@ -242,14 +253,40 @@ struct DiskIoOptions {
   // granule. Requires 4 KiB-aligned block_bytes; silently falls back to
   // buffered I/O on filesystems that reject O_DIRECT (e.g. tmpfs).
   bool direct_io = false;
+
+  // --- durability (DESIGN.md §15) ---------------------------------------
+  // Keep the backing file on destruction and stamp a versioned superblock
+  // into a 4 KiB header region ahead of block 0 (all block offsets shift by
+  // that region). Ephemeral stores (the default) stay headerless and are
+  // unlinked in the destructor, exactly as before.
+  bool persist = false;
+  // Open an existing backing file instead of truncating. The superblock
+  // must match (magic, format version, block_bytes, store_id) or Open fails
+  // with kFailedPrecondition. Requires persist.
+  bool reuse_existing = false;
+  // Identity stamped into a fresh superblock / required of a reused one
+  // (pairs the payload file with its metadata journal).
+  std::uint64_t store_id = 0;
+
+  // --- crash schedule (tests; DESIGN.md §15) ----------------------------
+  // With a switch attached: once frozen, writes are swallowed before they
+  // reach the file (the in-memory allocator and record table stay coherent
+  // — recovery reconciles). When crash_after_block_writes = N > 0, the
+  // batched write containing device-block write #N lands torn at that block
+  // boundary and then freezes the switch.
+  std::shared_ptr<CrashSwitch> crash;
+  std::uint64_t crash_after_block_writes = 0;
 };
 
 class UringQueue;  // raw-syscall io_uring wrapper (uring_io.h)
 
 class FileBlockStorage final : public PooledBlockStorage {
  public:
-  // Creates/truncates `path`. Fails with kIoError if the file cannot be
-  // opened — callers (AttentionStore) disable the tier instead of crashing.
+  // Creates/truncates `path` (or re-opens it when io.persist &&
+  // io.reuse_existing). Fails with kIoError if the file cannot be opened —
+  // callers (AttentionStore) disable the tier instead of crashing — and
+  // with kFailedPrecondition when a reused superblock disagrees with the
+  // requested identity (wrong format version, block size, or store id).
   static Result<std::unique_ptr<FileBlockStorage>> Open(std::string path,
                                                         std::uint64_t capacity_bytes,
                                                         std::uint64_t block_bytes,
@@ -261,6 +298,8 @@ class FileBlockStorage final : public PooledBlockStorage {
   // resolve to kBatched when io_uring is unavailable).
   DiskIoMode io_mode() const { return io_mode_; }
   bool direct_io() const { return direct_io_; }
+  bool persist() const { return persist_; }
+  std::uint64_t store_id() const { return store_id_; }
 
  protected:
   Status WriteBlock(BlockId block, std::span<const std::uint8_t> data)
@@ -274,7 +313,7 @@ class FileBlockStorage final : public PooledBlockStorage {
  private:
   FileBlockStorage(std::string path, int fd, std::uint64_t capacity_bytes,
                    std::uint64_t block_bytes, DiskIoMode mode, bool direct,
-                   std::unique_ptr<UringQueue> uring);
+                   std::unique_ptr<UringQueue> uring, const DiskIoOptions& io);
 
   // Grows the O_DIRECT-aligned staging buffer to at least `bytes`.
   Status EnsureAligned(std::uint64_t bytes) CA_REQUIRES(mutex_);
@@ -285,11 +324,20 @@ class FileBlockStorage final : public PooledBlockStorage {
   Status SubmitRuns(std::span<const BlockId> blocks, std::span<std::uint8_t> buffer,
                     bool is_write) CA_REQUIRES(mutex_);
 
-  const std::string path_;  // immutable after construction
-  const int fd_;            // immutable after construction
-  const bool direct_io_;    // immutable after construction
+  const std::string path_;          // immutable after construction
+  const int fd_;                    // immutable after construction
+  const bool direct_io_;            // immutable after construction
+  const bool persist_;              // immutable after construction
+  const std::uint64_t data_offset_; // immutable: superblock region (0 when ephemeral)
+  const std::uint64_t store_id_;    // immutable after construction
   DiskIoMode io_mode_;      // unguarded: set at construction / first failed probe only
   std::unique_ptr<UringQueue> uring_ CA_GUARDED_BY(mutex_);
+
+  // Crash schedule (tests; see DiskIoOptions). The switch itself is atomic;
+  // the write counter is only touched under mutex_.
+  const std::shared_ptr<CrashSwitch> crash_;  // immutable after construction
+  const std::uint64_t crash_after_block_writes_;  // immutable after construction
+  std::uint64_t crash_blocks_written_ CA_GUARDED_BY(mutex_) = 0;
 
   // 4 KiB-aligned staging area for batched writes (and O_DIRECT reads).
   struct AlignedDeleter {

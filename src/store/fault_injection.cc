@@ -18,6 +18,11 @@ FaultInjectingBlockStorage::Outcome FaultInjectingBlockStorage::NextOutcome(
   MutexLock lock(mutex_);
   std::uint64_t& ops = is_read ? stats_.reads : stats_.writes;
   ++ops;
+  if (config_.crash != nullptr && config_.crash->frozen.load(std::memory_order_relaxed)) {
+    // Post-crash: pass through without rolling faults (see FaultConfig::crash).
+    *corrupt_pos = 0;
+    return Outcome::kOk;
+  }
   const std::uint64_t fail_after = is_read ? config_.fail_reads_after : config_.fail_writes_after;
   // The rng is consumed in a fixed per-op order (permanent, transient,
   // corrupt, position) regardless of which draw fires, so the fault stream
@@ -192,6 +197,10 @@ Status FaultInjectingBlockStorage::ReadZeroCopy(const BlockExtent& extent, Paylo
       break;
   }
   return inner_->ReadZeroCopy(extent, sink);
+}
+
+Status FaultInjectingBlockStorage::AdoptExtent(const BlockExtent& extent) {
+  return inner_->AdoptExtent(extent);
 }
 
 void FaultInjectingBlockStorage::Free(BlockExtent& extent) { inner_->Free(extent); }

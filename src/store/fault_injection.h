@@ -50,6 +50,13 @@ struct FaultConfig {
   std::uint64_t fail_reads_after = 0;
   std::uint64_t fail_writes_after = 0;
 
+  // Crash-schedule switch (DESIGN.md §15). Once frozen, the injector stops
+  // rolling faults and passes every operation straight through: after the
+  // simulated SIGKILL the device is no longer there to fail in interesting
+  // ways, and injected faults would make the in-memory store diverge from
+  // the pinned on-disk state in ways a real crash cannot.
+  std::shared_ptr<CrashSwitch> crash;
+
   bool enabled() const {
     return read_transient_p > 0 || write_transient_p > 0 || read_permanent_p > 0 ||
            write_permanent_p > 0 || read_corrupt_p > 0 || write_corrupt_p > 0 ||
@@ -77,6 +84,9 @@ class FaultInjectingBlockStorage final : public BlockStorage {
   Status ReadInto(const BlockExtent& extent, std::span<std::uint8_t> out) override
       CA_EXCLUDES(mutex_);
   Status ReadZeroCopy(const BlockExtent& extent, PayloadSink& sink) override CA_EXCLUDES(mutex_);
+  // Never faults: adoption is a metadata operation (recovery must see the
+  // allocator's true state, DESIGN.md §15).
+  Status AdoptExtent(const BlockExtent& extent) override;
   void Free(BlockExtent& extent) override;
   std::uint64_t UsedBlocks() const override;
   std::uint64_t block_bytes() const override;

@@ -3,6 +3,7 @@
 #define CA_STORE_TYPES_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <string_view>
@@ -12,6 +13,18 @@
 #include "src/common/units.h"
 
 namespace ca {
+
+// Shared kill-switch for crash-schedule fault injection (DESIGN.md §15).
+// Test-only: when a seeded schedule fires, `frozen` flips to true and every
+// layer holding the switch (metadata journal, payload device) silently stops
+// letting bytes reach its file — the in-memory store keeps running, but the
+// on-disk state is pinned at the instant of the simulated SIGKILL.
+// Abandoning the store object and re-Open()ing the same paths is then
+// equivalent to a real kill-restart, minus the process churn (so the
+// kill-restart tests run in-process under ASan/TSan with no leaks).
+struct CrashSwitch {
+  std::atomic<bool> frozen{false};
+};
 
 using SessionId = std::uint64_t;
 inline constexpr SessionId kInvalidSession = std::numeric_limits<SessionId>::max();

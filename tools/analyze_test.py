@@ -162,6 +162,34 @@ class AnalyzeTest(unittest.TestCase):
         )
         self.assertNotIn("check-on-status", self.rules())
 
+    def test_check_on_status_fires_on_recovery_path(self):
+        # Recovery returns Status by design (DESIGN.md §15): a corrupt
+        # journal must degrade to misses or a reported error, never an
+        # abort. Asserting the Status away defeats exactly that.
+        self.write("widget.cc", "void F() { CA_CHECK(meta->Replay().ok()); }\n")
+        self.assertIn("check-on-status", self.rules())
+
+    def test_check_on_status_fires_on_fallible_open(self):
+        self.write(
+            "widget.cc",
+            "void F() {\n"
+            "  auto opened = AttentionStore::Open(config);\n"
+            "  CA_CHECK(opened.ok());\n"
+            "}\n",
+        )
+        self.assertIn("check-on-status", self.rules())
+
+    def test_return_if_error_on_recovery_ok(self):
+        # The sanctioned shape: propagate, do not assert.
+        self.write(
+            "widget.cc",
+            "Status F() {\n"
+            "  CA_RETURN_IF_ERROR(meta->Replay());\n"
+            "  return Status::Ok();\n"
+            "}\n",
+        )
+        self.assertNotIn("check-on-status", self.rules())
+
     def test_check_on_status_exempt_in_check_impl(self):
         self.write_layer(
             "common", "check.h",
