@@ -1,0 +1,62 @@
+#include "src/cluster/hash_ring.h"
+
+#include "src/common/check.h"
+
+namespace ca {
+namespace {
+
+// splitmix64 finalizer: full-avalanche mixing so sequential session ids and
+// (shard, replica) pairs spread uniformly over the ring. Deterministic by
+// construction — ring placement must not depend on process state.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Domain separation between ring points and session keys: without the salt,
+// PointFor(0, r) == Mix64(r) == the hash of session id r, so every session
+// id below vnodes_per_shard would land exactly on one of shard 0's points
+// and the whole small-id range would route to shard 0.
+constexpr std::uint64_t kPointSalt = 0x9AE16A3B2F90404FULL;
+
+std::uint64_t PointFor(ShardId shard, std::size_t replica) {
+  return Mix64(kPointSalt ^ ((static_cast<std::uint64_t>(shard) << 32) |
+                             static_cast<std::uint64_t>(replica)));
+}
+
+}  // namespace
+
+ConsistentHashRing::ConsistentHashRing(std::size_t vnodes_per_shard)
+    : vnodes_(vnodes_per_shard) {
+  CA_CHECK_GT(vnodes_, 0UL);
+}
+
+void ConsistentHashRing::AddShard(ShardId shard) {
+  if (!shards_.insert(shard).second) {
+    return;
+  }
+  for (std::size_t replica = 0; replica < vnodes_; ++replica) {
+    // Collisions between 64-bit points are vanishingly rare; keep the first
+    // owner so Add/Remove of another shard restores the exact prior map.
+    points_.emplace(PointFor(shard, replica), shard);
+  }
+}
+
+void ConsistentHashRing::RemoveShard(ShardId shard) {
+  if (shards_.erase(shard) == 0) {
+    return;
+  }
+  for (auto it = points_.begin(); it != points_.end();) {
+    it = it->second == shard ? points_.erase(it) : std::next(it);
+  }
+}
+
+ShardId ConsistentHashRing::ShardFor(SessionId session) const {
+  CA_CHECK(!points_.empty()) << "ShardFor on an empty ring";
+  const auto it = points_.lower_bound(Mix64(session));
+  return it == points_.end() ? points_.begin()->second : it->second;
+}
+
+}  // namespace ca

@@ -1,0 +1,56 @@
+// Consistent-hash ring with virtual nodes (DESIGN.md §16).
+//
+// Sessions map to shards through `vnodes_per_shard` hashed points per shard
+// on a 64-bit ring: ShardFor(session) walks clockwise from the session's
+// hash to the first point. A membership change moves only the keys whose
+// arc changed owner — about K/N of the keyspace when one of N shards leaves
+// — which is what preserves KV locality through rebalancing (vLLM and
+// Pensieve route stateful sessions to the instance holding their cache;
+// PAPERS.md). Virtual nodes smooth the per-shard load imbalance from
+// O(sqrt(N)) arcs to O(sqrt(N * vnodes)).
+//
+// The ring is a pure placement function: deterministic (fixed mix hash, no
+// RNG), no ownership of shards, no session state. Pinning decisions that
+// override the ring (overflow placement, post-migration residency) live in
+// the ShardRouter.
+#ifndef CA_CLUSTER_HASH_RING_H_
+#define CA_CLUSTER_HASH_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/store/types.h"
+
+namespace ca {
+
+using ShardId = std::uint32_t;
+
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(std::size_t vnodes_per_shard = 64);
+
+  // Adding an existing shard or removing an absent one is a no-op.
+  void AddShard(ShardId shard);
+  void RemoveShard(ShardId shard);
+
+  bool Contains(ShardId shard) const { return shards_.count(shard) != 0; }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t vnodes_per_shard() const { return vnodes_; }
+  std::vector<ShardId> Shards() const { return {shards_.begin(), shards_.end()}; }
+
+  // Owning shard for the session: first ring point clockwise of the
+  // session's hash. CHECK-fails on an empty ring.
+  ShardId ShardFor(SessionId session) const;
+
+ private:
+  std::size_t vnodes_;
+  std::map<std::uint64_t, ShardId> points_;  // ring position -> shard
+  std::set<ShardId> shards_;
+};
+
+}  // namespace ca
+
+#endif  // CA_CLUSTER_HASH_RING_H_

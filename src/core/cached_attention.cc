@@ -165,6 +165,73 @@ void CachedAttentionEngine::EndSession(SessionId session) {
   store_.Remove(session);
 }
 
+std::vector<SessionId> CachedAttentionEngine::LiveSessions() const {
+  MutexLock lock(mutex_);
+  std::vector<SessionId> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, state] : sessions_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+Result<SessionSnapshot> CachedAttentionEngine::ExportSession(SessionId session) {
+  CA_TRACE_SPAN("engine.export_session", "session", session);
+  WaitForPendingSave(session);
+  MutexLock lock(mutex_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return NotFoundError("session " + std::to_string(session) + " is not live");
+  }
+  SessionSnapshot snap;
+  snap.session = session;
+  snap.history = it->second.history;
+  auto exported = store_.ExportRecord(session);
+  if (exported.ok()) {
+    snap.record = *std::move(exported);
+  } else {
+    // The payload is unreadable (fault) or was never stored (dropped save):
+    // migrate the history alone and let the importer recompute — the same
+    // degradation as a cache-load fault, so replies stay identical.
+    CA_LOG(Warn) << "session " << session
+                 << " migrates history-only: " << exported.status();
+  }
+  return snap;
+}
+
+Status CachedAttentionEngine::ImportSession(SessionSnapshot snapshot) {
+  CA_TRACE_SPAN("engine.import_session", "session", snapshot.session);
+  if (snapshot.session == kInvalidSession || snapshot.history.empty()) {
+    return InvalidArgumentError("session snapshot is empty");
+  }
+  MutexLock lock(mutex_);
+  if (sessions_.find(snapshot.session) != sessions_.end()) {
+    return AlreadyExistsError("session " + std::to_string(snapshot.session) +
+                              " is already live here");
+  }
+  if (snapshot.record.has_value()) {
+    // A record whose token count disagrees with the history would poison
+    // the next turn's prefix reuse; treat it like a failed import.
+    Status imported = snapshot.record->token_count == snapshot.history.size()
+                          ? store_.ImportRecord(*snapshot.record, WallNow(), CurrentHintsLocked())
+                          : FailedPreconditionError("record covers " +
+                                                    std::to_string(snapshot.record->token_count) +
+                                                    " tokens but the history has " +
+                                                    std::to_string(snapshot.history.size()));
+    if (!imported.ok()) {
+      CA_LOG(Warn) << "session " << snapshot.session
+                   << " KV import failed (next turn recomputes): " << imported;
+    }
+  }
+  sessions_[snapshot.session].history = std::move(snapshot.history);
+  return Status::Ok();
+}
+
+TierHealth CachedAttentionEngine::StoreTierHealth(Tier tier) const {
+  MutexLock lock(mutex_);
+  return store_.tier_health(tier);
+}
+
 Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& state,
                                            std::size_t incoming_tokens, KvCache& cache,
                                            TurnResult& result) {

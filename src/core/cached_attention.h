@@ -107,6 +107,18 @@ struct EngineStats {
   }
 };
 
+// A serialized session for shard migration (DESIGN.md §16): the visible
+// token history plus — when the KV payload was exportable — the store
+// record. A snapshot without a record imports as history-only: the target
+// engine recomputes the KV on the session's next turn (the same degradation
+// path as a cache-load fault, so replies stay bitwise-identical) instead of
+// failing the migration.
+struct SessionSnapshot {
+  SessionId session = kInvalidSession;
+  std::vector<TokenId> history;
+  std::optional<ExportedRecord> record;
+};
+
 class CachedAttentionEngine {
  private:
   // Passkey for the store-injecting constructor below: the constructor is
@@ -193,6 +205,31 @@ class CachedAttentionEngine {
 
   // Current full token history of a session (post-truncation).
   std::vector<TokenId> SessionHistory(SessionId session) const CA_EXCLUDES(mutex_);
+
+  // Sessions with live engine state, in unspecified order.
+  std::vector<SessionId> LiveSessions() const CA_EXCLUDES(mutex_);
+
+  // --- Migration (DESIGN.md §16) ----------------------------------------
+  // Must not race with a turn for the same session; the shard router's
+  // drain protocol (WaitIdle before export, re-pin before new submissions)
+  // enforces that, mirroring the serving runtime's per-session exclusivity.
+
+  // Serializes a session for migration to another engine: waits for its
+  // pending async save, then snapshots the token history together with the
+  // exported store record. A session whose KV payload cannot be read
+  // exports history-only (the importer recomputes); kNotFound for unknown
+  // sessions. The session stays live here until EndSession.
+  Result<SessionSnapshot> ExportSession(SessionId session) CA_EXCLUDES(mutex_);
+
+  // Installs a migrated session. kAlreadyExists if the session is already
+  // live here (a session lives on exactly one shard). A snapshot whose
+  // record fails to import (target store full, faulted, corrupt in
+  // transit) still installs the history — the next turn recomputes.
+  Status ImportSession(SessionSnapshot snapshot) CA_EXCLUDES(mutex_);
+
+  // Thread-safe view of the underlying store's tier health (the shard
+  // router's whole-shard failure detection polls this).
+  TierHealth StoreTierHealth(Tier tier) const CA_EXCLUDES(mutex_);
 
   // Drops a session's state (and stored KV).
   void EndSession(SessionId session) CA_EXCLUDES(mutex_);

@@ -1,0 +1,142 @@
+// Multi-node fleet simulation (DESIGN.md §16): the ShardRouter's routing,
+// backpressure and drain policies at fleet scales the real CPU runtime
+// cannot reach.
+//
+// Each node is one inference instance with its own capacity-only
+// AttentionStore; the router mirror reuses the *same* ConsistentHashRing as
+// src/cluster and the same policy decisions — pin-on-first-accept,
+// overflow-to-least-loaded for new sessions only, shed existing sessions on
+// a full queue, drain-by-migration to the new ring owner. Migration charges
+// real time: KV bytes over a serialized node-to-node channel
+// (net_bandwidth), with the migrated session blocked until its transfer
+// lands. KV payloads travel between node stores through the same
+// ExportRecord/ImportRecord API the live router uses.
+#ifndef CA_SIM_MULTI_NODE_H_
+#define CA_SIM_MULTI_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/hash_ring.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/model/config.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/hardware.h"
+#include "src/sim/timing_model.h"
+#include "src/store/attention_store.h"
+#include "src/workload/sharegpt.h"
+
+namespace ca {
+
+struct MultiNodeOptions {
+  std::size_t nodes = 16;
+  std::size_t vnodes_per_shard = 64;
+  ModelDescriptor model = ModelDescriptor::Llama13B();
+  HardwareConfig hw = HardwareConfig::A100Node();
+  StoreConfig store;  // per-node tiers (capacity-only)
+
+  // Per-node backpressure: turns beyond this many queued are shed (existing
+  // sessions) or overflowed (new sessions). 0 = unbounded.
+  std::size_t max_queue_depth = 0;
+  bool overflow_new_sessions = true;
+
+  // Node-to-node link for migrations, bytes/s (serialized channel).
+  double net_bandwidth = 10e9;
+
+  // Scheduled drain (0 disables): at `drain_at`, `drain_node` leaves the
+  // ring and its sessions migrate to their new ring owners.
+  SimTime drain_at = 0;
+  ShardId drain_node = 0;
+
+  // §3.2.1 read-buffer depth for the overlapped partial prefill.
+  std::size_t read_buffer_layers = 16;
+};
+
+struct NodePerf {
+  std::uint64_t jobs_routed = 0;
+  std::uint64_t jobs_shed = 0;
+  std::uint64_t jobs_overflowed_in = 0;
+  std::uint64_t sessions_migrated_in = 0;
+  std::uint64_t sessions_migrated_out = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  SimTime busy = 0;  // node compute time
+};
+
+struct MultiNodeMetrics {
+  std::vector<NodePerf> nodes;
+  std::uint64_t turns = 0;        // turns served fleet-wide
+  std::uint64_t shed = 0;         // turns rejected fleet-wide
+  std::uint64_t migrations = 0;   // sessions moved by the drain
+  SimTime migration_time = 0;     // summed per-session transfer time
+  SimTime makespan = 0;
+  Samples ttft_s;
+
+  double hit_rate() const {
+    std::uint64_t h = 0;
+    std::uint64_t total = 0;
+    for (const NodePerf& n : nodes) {
+      h += n.hits;
+      total += n.hits + n.misses;
+    }
+    return total == 0 ? 0.0 : static_cast<double>(h) / static_cast<double>(total);
+  }
+  double shed_rate() const {
+    const std::uint64_t accepted = turns + shed;
+    return accepted == 0 ? 0.0 : static_cast<double>(shed) / static_cast<double>(accepted);
+  }
+  // Max/min served-jobs ratio over nodes that served anything (the ring
+  // balance the hash_ring tests bound analytically, observed end to end).
+  double load_balance_ratio() const;
+};
+
+class MultiNodeSim {
+ public:
+  // `workload` must have arrival times assigned (AssignArrivals).
+  MultiNodeSim(MultiNodeOptions options, std::vector<SessionTrace> workload);
+
+  MultiNodeMetrics Run();
+
+ private:
+  struct Node {
+    std::unique_ptr<AttentionStore> store;
+    SimTime busy_until = 0;
+    std::size_t queue_depth = 0;  // accepted turns not yet finished
+    bool draining = false;
+    NodePerf perf;
+  };
+  struct SessionState {
+    const SessionTrace* trace = nullptr;
+    std::uint32_t next_turn = 0;
+    std::uint64_t history_tokens = 0;
+    SimTime available_at = 0;  // migration transfer still in flight before this
+    bool turn_in_flight = false;
+  };
+
+  void OnTurnArrival(SessionId session);
+  void ServeTurn(ShardId node_id, SessionId session);
+  void FinishTurn(ShardId node_id, SessionId session, std::uint32_t a_tokens);
+  void ScheduleNextTurn(SessionId session, SimTime completed_at);
+  void DrainNode(ShardId node_id);
+  void MigrateSession(ShardId from, SessionId session);
+
+  MultiNodeOptions options_;
+  std::vector<SessionTrace> workload_;
+  std::unordered_map<SessionId, SessionState> sessions_;
+
+  EventQueue events_;
+  TimingModel timing_;
+  std::vector<Node> nodes_;
+  ConsistentHashRing ring_;
+  std::unordered_map<SessionId, ShardId> pins_;
+  SimTime migration_channel_busy_until_ = 0;
+
+  MultiNodeMetrics metrics_;
+};
+
+}  // namespace ca
+
+#endif  // CA_SIM_MULTI_NODE_H_

@@ -285,7 +285,8 @@ Status AttentionStore::RecoverFromJournal() {
                     .last_access = rec->last_access,
                     .insert_seq = rec->insert_seq,
                     .extent = std::move(extent),
-                    .checksum = rec->checksum};
+                    .checksum = rec->checksum,
+                    .user_meta = rec->user_meta};
     used_bytes_[static_cast<std::size_t>(Tier::kDisk)] += record.block_bytes;
     next_insert_seq_ = std::max(next_insert_seq_, rec->insert_seq + 1);
     records_.emplace(rec->session, std::move(record));
@@ -308,7 +309,8 @@ Status AttentionStore::RecoverFromJournal() {
 }
 
 const std::vector<std::uint8_t>* AttentionStore::UserMeta(SessionId session) const {
-  return meta_ == nullptr ? nullptr : meta_->UserMeta(session);
+  const auto it = records_.find(session);
+  return it == records_.end() ? nullptr : &it->second.user_meta;
 }
 
 void AttentionStore::JournalUpsert(const KvRecord& record,
@@ -473,6 +475,8 @@ void AttentionStore::CheckInvariants() const {
           << "session " << id << " journal token count drifted";
       CA_CHECK_EQ(m.insert_seq, r.insert_seq) << "session " << id << " journal seq drifted";
       CA_CHECK_EQ(m.checksum, r.checksum) << "session " << id << " journal checksum drifted";
+      CA_CHECK(m.user_meta == r.user_meta)
+          << "session " << id << " journal user_meta drifted from the record copy";
       if (r.tier == Tier::kDisk) {
         CA_CHECK(m.blocks == r.extent.blocks)
             << "session " << id << " journal extent drifted from the disk extent";
@@ -908,7 +912,8 @@ Status AttentionStore::PutImpl(SessionId session, std::uint64_t bytes, std::uint
                     .last_access = now,
                     .insert_seq = insert_seq,
                     .extent = {},
-                    .checksum = 0};
+                    .checksum = 0,
+                    .user_meta = {user_meta.begin(), user_meta.end()}};
     if (config_.real_payloads) {
       auto receipt = WriteWithRetry(*Storage(tier), *payload, tier);
       if (!receipt.ok()) {
@@ -1016,6 +1021,72 @@ Status AttentionStore::ReadPayloadInto(SessionId session, PayloadSink& sink) {
   PurgeQuarantined();
   MaybeAudit();
   return read;
+}
+
+Result<ExportedRecord> AttentionStore::ExportRecord(SessionId session) {
+  CA_TRACE_SPAN("store.export", "session", session);
+  if (records_.find(session) == records_.end()) {
+    return NotFoundError("session " + std::to_string(session));
+  }
+  // Read the payload before snapshotting the metadata: a permanent read
+  // failure drops the record (ReadPayload semantics), so the record lookup
+  // below is only valid after a clean read.
+  std::vector<std::uint8_t> payload;
+  if (config_.real_payloads) {
+    auto read = ReadPayload(session);
+    if (!read.ok()) {
+      return read.status();
+    }
+    payload = *std::move(read);
+  }
+  const KvRecord& r = records_.at(session);
+  ExportedRecord out;
+  out.session = session;
+  out.bytes = r.bytes;
+  out.token_count = r.token_count;
+  out.checksum = r.checksum;
+  out.last_access = r.last_access;
+  out.payload = std::move(payload);
+  out.user_meta = r.user_meta;
+  ++stats_.exports;
+  return out;
+}
+
+Status AttentionStore::ImportRecord(const ExportedRecord& record, SimTime now,
+                                    const SchedulerHints& hints) {
+  CA_TRACE_SPAN("store.import", "session", record.session, "bytes", record.bytes);
+  if (record.session == kInvalidSession || record.bytes == 0) {
+    return InvalidArgumentError("exported record is empty");
+  }
+  if (records_.find(record.session) != records_.end()) {
+    return AlreadyExistsError("session " + std::to_string(record.session) +
+                              " already resident; import never overwrites");
+  }
+  Status placed;
+  if (config_.real_payloads) {
+    if (record.payload.size() != record.bytes) {
+      return InvalidArgumentError("exported payload size disagrees with its metadata");
+    }
+    // Re-verify on the importing side: the checksum was stamped over the
+    // clean pre-transport bytes, so damage between export and import
+    // surfaces here, before any block is written.
+    if (config_.verify_checksums && record.checksum != 0 &&
+        Checksum64(record.payload) != record.checksum) {
+      ++stats_.corrupt_payloads;
+      return DataLossError("session " + std::to_string(record.session) +
+                           " import payload failed checksum re-verification");
+    }
+    SpanSource source(record.payload);
+    placed = PutImpl(record.session, record.bytes, record.token_count, &source, now, hints,
+                     record.user_meta);
+  } else {
+    placed = PutImpl(record.session, record.bytes, record.token_count, nullptr, now, hints,
+                     record.user_meta);
+  }
+  if (placed.ok()) {
+    ++stats_.imports;
+  }
+  return placed;
 }
 
 Status AttentionStore::Promote(SessionId session, SimTime now, const SchedulerHints& hints) {
@@ -1197,6 +1268,8 @@ void AttentionStore::PublishMetrics(MetricsRegistry* registry) const {
   gauge("store_stats.misses", static_cast<double>(stats_.misses));
   gauge("store_stats.inserts", static_cast<double>(stats_.inserts));
   gauge("store_stats.updates", static_cast<double>(stats_.updates));
+  gauge("store_stats.exports", static_cast<double>(stats_.exports));
+  gauge("store_stats.imports", static_cast<double>(stats_.imports));
   gauge("store_stats.demotions", static_cast<double>(stats_.demotions));
   gauge("store_stats.promotions", static_cast<double>(stats_.promotions));
   gauge("store_stats.evictions_out", static_cast<double>(stats_.evictions_out));

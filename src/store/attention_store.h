@@ -140,6 +140,22 @@ struct KvRecordInfo {
   SimTime last_access = 0;
 };
 
+// A self-contained, transport-ready snapshot of one record for cross-store
+// migration (AnyCache's ExportBlock/ImportBlock idiom; DESIGN.md §16): the
+// verified payload bytes, the caller's user-meta blob, and enough metadata
+// for the importing store to re-verify and re-place the record. The struct
+// deliberately references nothing inside either store, so it can later be
+// serialized onto a wire unchanged.
+struct ExportedRecord {
+  SessionId session = kInvalidSession;
+  std::uint64_t bytes = 0;        // logical payload size (== payload.size() in real mode)
+  std::uint64_t token_count = 0;
+  std::uint64_t checksum = 0;     // Checksum64 of payload; 0 when checksums are off
+  SimTime last_access = 0;
+  std::vector<std::uint8_t> payload;    // empty on capacity-only stores
+  std::vector<std::uint8_t> user_meta;  // opaque caller blob (serialized token history)
+};
+
 class AttentionStore {
  public:
   // Direct construction is for non-durable configs only (aborts otherwise):
@@ -208,6 +224,26 @@ class AttentionStore {
   // built (the bytes may be torn). Failure semantics match ReadPayload.
   Status ReadPayloadInto(SessionId session, PayloadSink& sink);
 
+  // --- Migration (DESIGN.md §16) ----------------------------------------
+
+  // Snapshots a record for migration to another store: reads and verifies
+  // the payload (real-payload mode; capacity-only stores export metadata
+  // with an empty payload) and carries the user-meta blob alongside. The
+  // record stays resident here — the export/import/remove sequence is the
+  // caller's protocol, so the KV survives if either side fails. Read
+  // failures propagate with ReadPayload's semantics (a permanent failure
+  // drops the record, making the miss consistent).
+  Result<ExportedRecord> ExportRecord(SessionId session);
+
+  // Installs an exported record into this store as if Put had been called
+  // with its payload and user_meta. Never overwrites: a resident record for
+  // the same session returns kAlreadyExists (the router's re-pin protocol
+  // guarantees a session lives in exactly one shard store at a time). In
+  // real-payload mode the payload checksum is re-verified before any byte
+  // is written — corruption in transit surfaces as kDataLoss, not as a
+  // poisoned cache entry.
+  Status ImportRecord(const ExportedRecord& record, SimTime now, const SchedulerHints& hints);
+
   // --- Placement management ---------------------------------------------
 
   // Moves a disk-resident record into DRAM (scheduler-aware fetching
@@ -241,9 +277,10 @@ class AttentionStore {
   // stores). Also published as "store_recovery.*" gauges.
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
 
-  // The opaque blob journaled with the session's record via Put(...,
-  // user_meta) — null for unknown sessions or non-durable stores. The
-  // pointer is invalidated by any store mutation.
+  // The opaque blob retained with the session's record via Put(...,
+  // user_meta) — null for unknown sessions. Retained in-record for every
+  // store (durable stores additionally journal it so recovery can rebuild
+  // it). The pointer is invalidated by any store mutation.
   const std::vector<std::uint8_t>* UserMeta(SessionId session) const;
 
   // Audits the store's internal consistency, aborting (CA_CHECK) on the
@@ -285,6 +322,11 @@ class AttentionStore {
     std::uint64_t insert_seq = 0;
     BlockExtent extent;              // valid iff real payloads attached
     std::uint64_t checksum = 0;      // Checksum64 of the payload (real mode)
+    // Opaque caller blob, replaced on Put and carried through moves —
+    // exactly the journal's keep/replace semantics, so durable stores can
+    // cross-check the two and migration exports it without touching the
+    // journal.
+    std::vector<std::uint8_t> user_meta;
   };
 
   struct TierHealthState {

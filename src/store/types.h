@@ -76,6 +76,8 @@ struct StoreStats {
 
   std::uint64_t inserts = 0;
   std::uint64_t updates = 0;
+  std::uint64_t exports = 0;         // records serialized for migration
+  std::uint64_t imports = 0;         // migrated records installed
   std::uint64_t demotions = 0;       // moved to a slower tier
   std::uint64_t promotions = 0;      // prefetched to a faster tier
   std::uint64_t evictions_out = 0;   // dropped from the system entirely

@@ -1,0 +1,130 @@
+// Multi-node fleet simulation tests (DESIGN.md §16): the router's routing /
+// backpressure / drain policies reproduced qualitatively at 16-node scale.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/sim/multi_node.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/sharegpt.h"
+
+namespace ca {
+namespace {
+
+std::vector<SessionTrace> MakeWorkload(std::size_t sessions, std::uint64_t seed,
+                                       double arrival_rate = 2.0,
+                                       double think_time_s = 20.0) {
+  ShareGptConfig config;
+  config.think_time_mean_s = think_time_s;
+  ShareGptGenerator gen(config, seed);
+  auto traces = gen.Generate(sessions);
+  AssignArrivals(traces, arrival_rate, seed + 1);
+  return traces;
+}
+
+std::size_t TotalTurns(const std::vector<SessionTrace>& workload) {
+  std::size_t total = 0;
+  for (const auto& s : workload) {
+    total += s.turns.size();
+  }
+  return total;
+}
+
+MultiNodeOptions FleetOptions() {
+  MultiNodeOptions options;
+  options.nodes = 16;
+  return options;  // per-node stores at their ample paper defaults
+}
+
+// The acceptance-criteria fleet: 16 nodes serve every turn exactly once, the
+// ring keeps per-node load within a sane band, and returning sessions hit
+// their node-local KV caches (the locality the pinning policy exists for).
+TEST(MultiNodeSimTest, SixteenNodeFleetServesEveryTurnWithBalancedLoad) {
+  const auto workload = MakeWorkload(400, 21);
+  MultiNodeSim sim(FleetOptions(), workload);
+  const MultiNodeMetrics m = sim.Run();
+
+  EXPECT_EQ(m.turns, TotalTurns(workload));
+  EXPECT_EQ(m.shed, 0ULL);  // unbounded queues: nothing rejected
+  EXPECT_EQ(m.migrations, 0ULL);
+  EXPECT_GT(m.makespan, 0);
+  ASSERT_EQ(m.nodes.size(), 16U);
+  for (const NodePerf& n : m.nodes) {
+    EXPECT_GT(n.jobs_routed, 0ULL) << "an idle node in a 400-session fleet";
+  }
+  EXPECT_LT(m.load_balance_ratio(), 5.0);
+  // Multi-turn sessions return to their pinned node and find their KV there.
+  EXPECT_GT(m.hit_rate(), 0.8);
+  EXPECT_EQ(m.ttft_s.count(), m.turns);
+}
+
+TEST(MultiNodeSimTest, DeterministicForSameWorkload) {
+  const auto workload = MakeWorkload(100, 22);
+  const MultiNodeMetrics a = MultiNodeSim(FleetOptions(), workload).Run();
+  const MultiNodeMetrics b = MultiNodeSim(FleetOptions(), workload).Run();
+  EXPECT_EQ(a.turns, b.turns);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.hit_rate(), b.hit_rate());
+}
+
+// Backpressure mirror of the router: a tiny queue cap under a hot arrival
+// process sheds turns, overflow places new sessions elsewhere, and the
+// turns-vs-shed accounting conserves the workload.
+TEST(MultiNodeSimTest, QueueCapShedsAndOverflowAbsorbsNewSessions) {
+  const auto workload = MakeWorkload(300, 23, /*arrival_rate=*/50.0, /*think_time_s=*/1.0);
+  MultiNodeOptions options = FleetOptions();
+  options.max_queue_depth = 1;
+  MultiNodeSim sim(options, workload);
+  const MultiNodeMetrics m = sim.Run();
+
+  EXPECT_GT(m.shed, 0ULL) << "queue cap 1 at 50 sessions/s never shed";
+  EXPECT_EQ(m.turns + m.shed, TotalTurns(workload));
+  std::uint64_t overflowed = 0;
+  for (const NodePerf& n : m.nodes) {
+    overflowed += n.jobs_overflowed_in;
+  }
+  EXPECT_GT(overflowed, 0ULL) << "no new session ever overflowed to a less-loaded node";
+  EXPECT_GT(m.shed_rate(), 0.0);
+  EXPECT_LT(m.shed_rate(), 1.0);
+}
+
+// The router policy distinction, observed at fleet scale: letting new
+// sessions overflow to the least-loaded node cannot shed more than pinning
+// them rigidly to a full ring owner.
+TEST(MultiNodeSimTest, OverflowPolicyShedsNoMoreThanRigidRouting) {
+  const auto workload = MakeWorkload(300, 24, /*arrival_rate=*/50.0, /*think_time_s=*/1.0);
+  MultiNodeOptions overflow = FleetOptions();
+  overflow.max_queue_depth = 1;
+  MultiNodeOptions rigid = overflow;
+  rigid.overflow_new_sessions = false;
+  const MultiNodeMetrics m_overflow = MultiNodeSim(overflow, workload).Run();
+  const MultiNodeMetrics m_rigid = MultiNodeSim(rigid, workload).Run();
+  EXPECT_LE(m_overflow.shed, m_rigid.shed);
+}
+
+// Drain mid-run: the drained node's sessions move to their new ring owners
+// over the migration channel (KV bytes cost real transfer time), nothing is
+// lost, and no further turns land on the drained node afterwards.
+TEST(MultiNodeSimTest, DrainMigratesSessionsAndLosesNoTurns) {
+  const auto workload = MakeWorkload(200, 25, /*arrival_rate=*/2.0, /*think_time_s=*/30.0);
+  MultiNodeOptions options = FleetOptions();
+  options.drain_node = 3;
+  options.drain_at = 40 * kSecond;  // mid-run: sessions are live and cached
+  MultiNodeSim sim(options, workload);
+  const MultiNodeMetrics m = sim.Run();
+
+  EXPECT_EQ(m.turns, TotalTurns(workload)) << "the drain lost turns";
+  EXPECT_GT(m.migrations, 0ULL) << "node 3 had nothing to migrate at t=40s";
+  EXPECT_GT(m.migration_time, 0) << "KV payloads moved for free";
+  const NodePerf& drained = m.nodes[3];
+  EXPECT_EQ(drained.sessions_migrated_out, m.migrations);
+  std::uint64_t migrated_in = 0;
+  for (const NodePerf& n : m.nodes) {
+    migrated_in += n.sessions_migrated_in;
+  }
+  EXPECT_EQ(migrated_in, m.migrations);
+  EXPECT_EQ(drained.sessions_migrated_in, 0ULL) << "a session migrated INTO the drained node";
+}
+
+}  // namespace
+}  // namespace ca

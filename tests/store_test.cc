@@ -320,6 +320,114 @@ TEST(AttentionStoreTest, RealPayloadRoundTripAcrossTiers) {
   EXPECT_EQ(*read, data);
 }
 
+// --- ExportRecord / ImportRecord (migration, DESIGN.md §16) ---------------
+
+TEST(AttentionStoreTest, ExportImportRoundTripIsBitwise) {
+  StoreConfig config = SmallConfig();
+  config.real_payloads = true;
+  config.audit = true;
+  AttentionStore source(config);
+  AttentionStore target(config);
+  const auto data = Payload(MiB(3), 21);
+  const std::vector<std::uint8_t> meta = {9, 8, 7, 6};
+  ASSERT_TRUE(source.Put(1, data.size(), 42, data, 5, kNoHints, meta).ok());
+
+  auto exported = source.ExportRecord(1);
+  ASSERT_TRUE(exported.ok());
+  EXPECT_EQ(exported->session, 1ULL);
+  EXPECT_EQ(exported->bytes, data.size());
+  EXPECT_EQ(exported->token_count, 42ULL);
+  EXPECT_EQ(exported->payload, data);
+  EXPECT_EQ(exported->user_meta, meta);
+  // Export is non-destructive: the source still serves the record.
+  EXPECT_EQ(source.Lookup(1), Tier::kDram);
+  EXPECT_EQ(source.stats().exports, 1ULL);
+
+  ASSERT_TRUE(target.ImportRecord(*exported, 6, kNoHints).ok());
+  EXPECT_EQ(target.stats().imports, 1ULL);
+  auto read = target.ReadPayload(1);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);  // bitwise across stores
+  ASSERT_NE(target.UserMeta(1), nullptr);
+  EXPECT_EQ(*target.UserMeta(1), meta);
+  const auto info = target.GetInfo(1);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->token_count, 42ULL);
+}
+
+TEST(AttentionStoreTest, ImportIntoOccupiedSessionIsRejected) {
+  StoreConfig config = SmallConfig();
+  config.real_payloads = true;
+  AttentionStore source(config);
+  AttentionStore target(config);
+  const auto data = Payload(MiB(2), 3);
+  ASSERT_TRUE(source.Put(1, data.size(), 10, data, 0, kNoHints).ok());
+  const auto resident = Payload(MiB(1), 4);
+  ASSERT_TRUE(target.Put(1, resident.size(), 5, resident, 0, kNoHints).ok());
+
+  auto exported = source.ExportRecord(1);
+  ASSERT_TRUE(exported.ok());
+  const Status imported = target.ImportRecord(*exported, 1, kNoHints);
+  EXPECT_EQ(imported.code(), StatusCode::kAlreadyExists);
+  // No silent overwrite: the resident payload is untouched.
+  auto read = target.ReadPayload(1);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, resident);
+}
+
+TEST(AttentionStoreTest, ImportReverifiesChecksum) {
+  StoreConfig config = SmallConfig();
+  config.real_payloads = true;
+  AttentionStore source(config);
+  AttentionStore target(config);
+  const auto data = Payload(MiB(2), 11);
+  ASSERT_TRUE(source.Put(1, data.size(), 10, data, 0, kNoHints).ok());
+  auto exported = source.ExportRecord(1);
+  ASSERT_TRUE(exported.ok());
+
+  // Corruption "in transit": one flipped byte must be caught on import,
+  // before anything lands in the target store.
+  exported->payload[exported->payload.size() / 2] ^= 0x01;
+  const Status imported = target.ImportRecord(*exported, 1, kNoHints);
+  EXPECT_EQ(imported.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(target.RecordCount(), 0U);
+  EXPECT_EQ(target.stats().corrupt_payloads, 1ULL);
+  EXPECT_EQ(target.stats().imports, 0ULL);
+}
+
+TEST(AttentionStoreTest, ExportUnknownSessionIsNotFound) {
+  AttentionStore store(SmallConfig());
+  const auto exported = store.ExportRecord(404);
+  EXPECT_EQ(exported.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AttentionStoreTest, CapacityOnlyExportImportMovesAccounting) {
+  AttentionStore source(SmallConfig());
+  AttentionStore target(SmallConfig());
+  ASSERT_TRUE(source.Put(1, MiB(4), 100, {}, 0, kNoHints).ok());
+  auto exported = source.ExportRecord(1);
+  ASSERT_TRUE(exported.ok());
+  EXPECT_TRUE(exported->payload.empty());
+  ASSERT_TRUE(target.ImportRecord(*exported, 1, kNoHints).ok());
+  EXPECT_EQ(target.Lookup(1), Tier::kDram);
+  EXPECT_EQ(target.UsedBytes(Tier::kDram), MiB(4));
+}
+
+TEST(AttentionStoreTest, UserMetaRetainedWithoutDurability) {
+  AttentionStore store(SmallConfig());
+  const std::vector<std::uint8_t> meta = {1, 2, 3};
+  ASSERT_TRUE(store.Put(1, MiB(4), 10, {}, 0, kNoHints, meta).ok());
+  ASSERT_NE(store.UserMeta(1), nullptr);
+  EXPECT_EQ(*store.UserMeta(1), meta);
+  // Moves keep the blob; a fresh Put without one replaces it.
+  ASSERT_TRUE(store.Demote(1, 1, kNoHints).ok());
+  ASSERT_NE(store.UserMeta(1), nullptr);
+  EXPECT_EQ(*store.UserMeta(1), meta);
+  ASSERT_TRUE(store.Put(1, MiB(4), 10, {}, 2, kNoHints).ok());
+  ASSERT_NE(store.UserMeta(1), nullptr);
+  EXPECT_TRUE(store.UserMeta(1)->empty());
+}
+
 TEST(AttentionStoreTest, ResetStatsClearsCounters) {
   AttentionStore store(SmallConfig());
   ASSERT_TRUE(store.Put(1, MiB(4), 10, {}, 0, kNoHints).ok());

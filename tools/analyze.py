@@ -74,7 +74,8 @@ LAYER_DEPS: Dict[str, Set[str]] = {
     "core": {"common", "obs", "tensor", "model", "store"},
     "sched": {"common", "obs", "store"},
     "serve": {"common", "obs", "tensor", "model", "store", "core", "sched"},
-    "sim": {"common", "obs", "tensor", "model", "store", "sched", "workload"},
+    "cluster": {"common", "obs", "tensor", "model", "store", "core", "sched", "serve"},
+    "sim": {"common", "obs", "tensor", "model", "store", "sched", "workload", "cluster"},
 }
 
 

@@ -243,6 +243,24 @@ class AnalyzeTest(unittest.TestCase):
             '#include "src/core/engine.h"  // NOLINT(include-layering)\n')
         self.assertNotIn("include-layering", self.rules())
 
+    def test_cluster_may_include_serve(self):
+        self.write_layer(
+            "cluster", "router.cc",
+            '#include "src/serve/serving_loop.h"\nnamespace ca {}\n')
+        self.assertNotIn("include-layering", self.rules())
+
+    def test_serve_may_not_include_cluster(self):
+        self.write_layer(
+            "serve", "loop.cc",
+            '#include "src/cluster/shard_router.h"\nnamespace ca {}\n')
+        self.assertIn("include-layering", self.rules())
+
+    def test_sim_may_include_cluster(self):
+        self.write_layer(
+            "sim", "fleet.cc",
+            '#include "src/cluster/hash_ring.h"\nnamespace ca {}\n')
+        self.assertNotIn("include-layering", self.rules())
+
     def test_layer_map_is_a_dag(self):
         # Every dependency resolves to a mapped layer, and no layer can
         # reach itself through the map (acyclicity).
