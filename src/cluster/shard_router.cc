@@ -132,6 +132,16 @@ std::optional<JobId> ShardRouter::TrySubmit(ServeRequest request) {
     const bool is_new = pin == pins_.end();
     ShardId target = is_new ? ring_.ShardFor(session) : pin->second;
     if (shards_[target]->health == ShardHealth::kDraining) {
+      // Parked intake bypasses the loop's own queue cap, so the cap applies
+      // here too: a long drain under pressure sheds instead of accumulating
+      // unbounded parked work. (Submit parks unconditionally — accepted
+      // work is never dropped.)
+      if (options_.server.max_queue_depth != 0 &&
+          parked_[target].size() >= options_.server.max_queue_depth) {
+        shards_[target]->jobs_shed += 1;
+        shards_[target]->shed_counter->Add(1);
+        return std::nullopt;
+      }
       // Accepted but parked: the drain in progress flushes these to the
       // session's post-migration shard in acceptance order.
       const GlobalJob gid{next_job_id_++, ++turns_submitted_[session]};
@@ -212,15 +222,19 @@ std::vector<ServeReply> ShardRouter::TakeReplies() {
   return out;
 }
 
-void ShardRouter::MigrateSession(ShardId from, SessionId session) {
+std::optional<ShardId> ShardRouter::MigrateSession(ShardId from, SessionId session) {
   CA_TRACE_SPAN("cluster.migrate", "session", session, "from", from);
   Shard& src = *shards_[from];
+  if (options_.migration_fault_fn && options_.migration_fault_fn(session, from)) {
+    CA_LOG(Warn) << "session " << session << ": injected migration fault";
+    return std::nullopt;
+  }
   auto snapshot = src.engine->ExportSession(session);
   if (!snapshot.ok()) {
     // LiveSessions listed it, the loop is idle and routing parks this
     // session's turns, so only a concurrent EndSession can race us here.
     CA_LOG(Warn) << "session " << session << " vanished mid-drain: " << snapshot.status();
-    return;
+    return std::nullopt;
   }
   ShardId target;
   {
@@ -230,19 +244,19 @@ void ShardRouter::MigrateSession(ShardId from, SessionId session) {
   const Status imported = shards_[target]->engine->ImportSession(*std::move(snapshot));
   if (!imported.ok()) {
     // kAlreadyExists would mean the session lives on two shards — routing
-    // violated its own invariant. Keep the source copy and leave the pin:
-    // the park-flush fallback re-routes via the ring.
+    // violated its own invariant. Keep the source copy; the drain sweep
+    // unpins the session so it restarts fresh via the ring.
     CA_LOG(Error) << "session " << session << " import into shard " << target
                   << " failed: " << imported;
-    return;
+    return std::nullopt;
   }
   src.engine->EndSession(session);
   MutexLock lock(mutex_);
-  pins_[session] = target;
   src.sessions_migrated_out += 1;
   src.migrated_out_counter->Add(1);
   shards_[target]->sessions_migrated_in += 1;
   shards_[target]->migrated_in_counter->Add(1);
+  return target;
 }
 
 Status ShardRouter::DrainInternal(ShardId shard, ShardHealth terminal) {
@@ -271,38 +285,51 @@ Status ShardRouter::DrainInternal(ShardId shard, ShardHealth terminal) {
   // a migrated session can never have a turn still in flight here when its
   // next turn starts on the target shard).
   src.loop->WaitIdle();
-  std::size_t moved = 0;
+  // Export/import only — the re-pins are recorded here and applied below,
+  // atomically with the park-flush. Re-pinning any earlier would let a turn
+  // submitted after the re-pin reach the target shard while earlier turns
+  // for the same session still sit parked (per-session order violation).
+  std::vector<std::pair<SessionId, ShardId>> repins;
   for (const SessionId session : src.engine->LiveSessions()) {
-    MigrateSession(shard, session);
-    ++moved;
+    if (const auto target = MigrateSession(shard, session); target.has_value()) {
+      repins.emplace_back(session, *target);
+    }
   }
   // Retire the shard's loop for good (graceful: it is idle) and flush its
   // async saves before the engine goes quiet.
   src.loop->Shutdown();
   {
-    // Terminal-state flip and park-flush in ONE critical section: a turn
-    // routed after the flip must see its session's new pin, and a parked
-    // turn must reach the loop before it — per-session submission order is
-    // the bitwise-identity contract.
+    // Terminal-state flip, re-pins, pin sweep and park-flush in ONE
+    // critical section: a turn routed after the flip must see its session's
+    // new pin, and a parked turn must reach the loop before it —
+    // per-session submission order is the bitwise-identity contract.
     MutexLock lock(mutex_);
     src.health = terminal;
+    for (const auto& [session, target] : repins) {
+      pins_[session] = target;
+    }
+    // Sweep every pin still pointing at the retired shard (failed export or
+    // import, EndSession raced the drain): left in place it would route the
+    // session's next turn to a shut-down loop forever. Unpinned, the
+    // session restarts fresh via the ring on its next turn.
+    for (auto it = pins_.begin(); it != pins_.end();) {
+      it = it->second == shard ? pins_.erase(it) : std::next(it);
+    }
     std::vector<ParkedJob> parked = std::move(parked_[shard]);
     parked_[shard].clear();
     for (ParkedJob& job : parked) {
       const SessionId session = job.request.session;
-      ShardId target = pins_.count(session) != 0 ? pins_[session] : ring_.ShardFor(session);
-      if (target == shard || shards_[target]->health != ShardHealth::kHealthy) {
-        // Migration fallback (export raced an EndSession, or the import
-        // failed): route by ring and let the engine recompute from scratch.
-        target = ring_.ShardFor(session);
-        pins_[session] = target;
-      }
+      // Post-sweep a pin can only name a healthy shard, and the ring holds
+      // only healthy shards — both routes are safe to submit to.
+      const auto pin = pins_.find(session);
+      const ShardId target = pin != pins_.end() ? pin->second : ring_.ShardFor(session);
+      pins_[session] = target;
       SubmitToShardLocked(target, job.id, std::move(job.request));
     }
   }
   drain_seconds_hist_->Observe(static_cast<double>(TraceNowNs() - start_ns) * 1e-9);
   CA_LOG(Info) << "shard " << shard << " drained (" << ShardHealthName(terminal) << "): "
-               << moved << " session(s) migrated";
+               << repins.size() << " session(s) migrated";
   return Status::Ok();
 }
 
@@ -366,6 +393,27 @@ void ShardRouter::MaybeInlinePollHealth() {
     routed_since_poll_ = 0;
   }
   PollHealth();
+}
+
+void ShardRouter::EndSession(SessionId session) {
+  // Serialized behind drain_mutex_ so a concurrent drain cannot migrate
+  // the session mid-end and resurrect its pin from the re-pin list.
+  MutexLock drain_lock(drain_mutex_);
+  std::optional<ShardId> pinned;
+  {
+    MutexLock lock(mutex_);
+    const auto pin = pins_.find(session);
+    if (pin != pins_.end()) {
+      pinned = pin->second;
+      pins_.erase(pin);
+    }
+    turns_submitted_.erase(session);
+  }
+  if (pinned.has_value()) {
+    // The engine outlives its loop, so this is safe even for a shard that
+    // was drained after the session last ran on it.
+    shards_[*pinned]->engine->EndSession(session);
+  }
 }
 
 ShardId ShardRouter::ShardOf(SessionId session) const {

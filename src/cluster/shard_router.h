@@ -19,13 +19,18 @@
 //   Migration / drain.  DrainShard removes the shard from the ring (new
 //   sessions stop arriving), waits for its accepted jobs to finish, then
 //   moves every live session to its new ring owner via the engine's
-//   ExportSession/ImportSession (KV payload + token history) and re-pins
-//   it. Turns submitted for those sessions mid-drain are accepted and
-//   parked; they flush to the new owners, in submission order, in the same
-//   critical section that retires the shard — so a drain under live
-//   traffic loses nothing and replies stay bitwise-identical (a session
-//   whose KV could not travel recomputes from its migrated history, which
-//   yields the same replies by the engine's determinism contract).
+//   ExportSession/ImportSession (KV payload + token history). Turns
+//   submitted for those sessions mid-drain are accepted and parked — the
+//   pins keep pointing at the draining shard for the whole drain, so no
+//   turn can reach the new owner early. The re-pins to the migration
+//   targets, a sweep of every pin the migration could not move, and the
+//   park-flush (in submission order) all land in the one critical section
+//   that retires the shard, so a drain under live traffic loses nothing,
+//   per-session submission order holds end-to-end, and replies stay
+//   bitwise-identical (a session whose KV could not travel recomputes from
+//   its migrated history, which yields the same replies by the engine's
+//   determinism contract; a session whose migration failed outright is
+//   unpinned and restarts fresh via the ring — served, never wedged).
 //
 //   Whole-shard failure.  PR 3's tier-health machine extends to the shard
 //   level: a shard whose store has every configured tier quarantined can
@@ -80,6 +85,11 @@ struct ClusterOptions {
   // Per-shard override hook (heterogeneous fleets, per-shard fault
   // injection in tests). Null = every shard uses `engine`.
   std::function<EngineOptions(std::size_t shard)> engine_options_fn;
+  // Test-only fault injection on the migration path: return true to make
+  // the drain's move of `session` off `from` fail. The drain then sweeps
+  // the session's pin and it restarts fresh via the ring (clean-miss
+  // recompute). Null = no injected faults.
+  std::function<bool(SessionId session, ShardId from)> migration_fault_fn;
   // Overflow-to-least-loaded for new sessions on TrySubmit rejection.
   bool overflow_new_sessions = true;
   // Run PollHealth inline every N routed jobs (0 disables the inline poll;
@@ -120,7 +130,10 @@ class ShardRouter {
 
   // Backpressure intake: nullopt when the router is shut down, the input
   // is empty, or the target shard's queue is full and overflow could not
-  // place the request (see the routing policy above).
+  // place the request (see the routing policy above). While the target
+  // shard drains, parked intake counts against the same max_queue_depth
+  // cap — a long drain under pressure sheds here instead of accumulating
+  // unbounded parked work (Submit stays unconditional).
   std::optional<JobId> TrySubmit(ServeRequest request) CA_EXCLUDES(mutex_);
 
   // Blocks until every routed job has been served. Quiescent-point API like
@@ -145,6 +158,16 @@ class ShardRouter {
   // shard whose store has all configured tiers quarantined. Returns the
   // number of shards retired.
   std::size_t PollHealth() CA_EXCLUDES(drain_mutex_);
+
+  // Ends a session fleet-wide: drops its engine state on its pinned shard
+  // and erases the router's pin and turn counter, so a long-running router
+  // does not grow an entry per session ever seen. The next turn for the
+  // same id starts a fresh session (turn_index 1) placed by the ring.
+  // Per-session quiescent API like CachedAttentionEngine::EndSession: must
+  // not race with in-flight or parked turns for the same session (it is
+  // serialized against drains internally). No-op for sessions the router
+  // has never accepted.
+  void EndSession(SessionId session) CA_EXCLUDES(drain_mutex_, mutex_);
 
   // Current placement for a session: its pin, or the ring owner it would
   // get if it arrived now.
@@ -207,8 +230,13 @@ class ShardRouter {
   // Drain body; terminal is kDrained (operator) or kQuarantined (health).
   Status DrainInternal(ShardId shard, ShardHealth terminal) CA_REQUIRES(drain_mutex_)
       CA_EXCLUDES(mutex_);
-  // Moves one session from `from` to its new ring owner and re-pins it.
-  void MigrateSession(ShardId from, SessionId session) CA_EXCLUDES(mutex_);
+  // Moves one session from `from` to its new ring owner; returns the
+  // target on success, nullopt on failure. Deliberately does NOT touch
+  // pins_ — the caller (DrainInternal) applies every re-pin inside the
+  // same critical section that flushes the parked turns, otherwise a turn
+  // submitted after the re-pin would overtake this session's parked turns.
+  std::optional<ShardId> MigrateSession(ShardId from, SessionId session)
+      CA_EXCLUDES(mutex_);
   // True when every configured store tier of the shard is quarantined.
   bool ShardStoreDead(const Shard& shard) const;
   void MaybeInlinePollHealth() CA_EXCLUDES(mutex_);
@@ -226,6 +254,8 @@ class ShardRouter {
   std::vector<std::unique_ptr<Shard>> shards_;
   ConsistentHashRing ring_ CA_GUARDED_BY(mutex_);
   // Authoritative session placement once a session has been accepted.
+  // Entries die with the session (EndSession) or with their shard (the
+  // drain sweep); a pin never outlives the shard it points at.
   std::unordered_map<SessionId, ShardId> pins_ CA_GUARDED_BY(mutex_);
   std::unordered_map<SessionId, std::uint32_t> turns_submitted_ CA_GUARDED_BY(mutex_);
   // Per shard: loop-local JobId -> router-global identity, consumed by

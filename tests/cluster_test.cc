@@ -13,6 +13,8 @@
 //     auto-drained as kQuarantined by PollHealth.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -380,6 +382,168 @@ TEST_F(ClusterTest, QuarantinedShardIsAutoDrainedByPollHealth) {
   for (std::size_t s = 0; s < kSessions; ++s) {
     EXPECT_NE(router.ShardOf(static_cast<SessionId>(s)), victim);
   }
+}
+
+// A migration that fails outright (injected whole-migration fault) must not
+// leave the session's pin pointing at the retired shard: the drain sweeps
+// it, and the session keeps being served — fresh via the ring (clean-miss
+// recompute), never routed to the shut-down loop.
+TEST_F(ClusterTest, FailedMigrationSweepsPinAndSessionKeepsBeingServed) {
+  const std::size_t kSessions = 12;
+  const std::size_t vocab = model_.config().vocab_size;
+
+  ClusterOptions copts;
+  copts.num_shards = 4;
+  copts.engine = DefaultEngineOptions();
+  copts.server.num_workers = 2;
+  copts.migration_fault_fn = [](SessionId, ShardId) { return true; };  // fail every move
+  ShardRouter router(&model_, copts);
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    ServeRequest req;
+    req.session = static_cast<SessionId>(s);
+    req.input = MakeTokens(8, 9000 + s, vocab);
+    req.max_reply_tokens = 3;
+    router.Submit(std::move(req));
+  }
+  router.WaitIdle();
+
+  const ShardId victim = router.ShardOf(0);
+  std::vector<SessionId> on_victim;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    if (router.ShardOf(static_cast<SessionId>(s)) == victim) {
+      on_victim.push_back(static_cast<SessionId>(s));
+    }
+  }
+  ASSERT_FALSE(on_victim.empty());
+
+  ASSERT_TRUE(router.DrainShard(victim).ok());
+  const ShardStatus st = router.shard_status(victim);
+  EXPECT_EQ(st.health, ShardHealth::kDrained);
+  EXPECT_EQ(st.sessions_migrated_out, 0U) << "injected faults should fail every move";
+
+  // Every pin left the retired shard even though nothing migrated...
+  for (const SessionId s : on_victim) {
+    EXPECT_NE(router.ShardOf(s), victim) << "session " << s << " pin survived the sweep";
+  }
+  // ...and the sessions are still servable: Submit must route them to a
+  // live shard (a stale pin would abort on the victim's shut-down loop).
+  for (const SessionId s : on_victim) {
+    ServeRequest req;
+    req.session = s;
+    req.input = MakeTokens(8, 9500 + s, vocab);
+    req.max_reply_tokens = 3;
+    router.Submit(std::move(req));
+  }
+  router.Shutdown();
+  for (const ServeReply& r : router.TakeReplies()) {
+    EXPECT_TRUE(r.status.ok()) << "job " << r.job << ": " << r.status;
+  }
+}
+
+// TrySubmit while the pinned shard drains: parked intake is bounded by
+// max_queue_depth — overflow sheds instead of growing parked_ without limit.
+// The migration fault hook doubles as a sync point holding the drain open.
+TEST_F(ClusterTest, TrySubmitBoundsParkedBacklogDuringDrain) {
+  const std::size_t vocab = model_.config().vocab_size;
+  std::atomic<bool> release{false};
+
+  ClusterOptions copts;
+  copts.num_shards = 2;
+  copts.engine = DefaultEngineOptions();
+  copts.server.num_workers = 1;
+  copts.server.max_queue_depth = 2;
+  copts.migration_fault_fn = [&release](SessionId, ShardId) {
+    while (!release.load()) {
+      std::this_thread::yield();  // park the drain mid-migration
+    }
+    return false;  // then migrate normally
+  };
+  ShardRouter router(&model_, copts);
+
+  // One served turn pins the session (and gives the drain a live session to
+  // block on inside the fault hook).
+  SessionId session = 0;
+  ServeRequest first;
+  first.session = session;
+  first.input = MakeTokens(8, 11000, vocab);
+  first.max_reply_tokens = 2;
+  router.Submit(std::move(first));
+  router.WaitIdle();
+  const ShardId victim = router.ShardOf(session);
+
+  std::thread drainer([&] { EXPECT_TRUE(router.DrainShard(victim).ok()); });
+  while (router.shard_status(victim).health != ShardHealth::kDraining) {
+    std::this_thread::yield();
+  }
+
+  // The drain is wedged in the hook: every TrySubmit for the pinned session
+  // parks — until the cap (2), after which the rest shed.
+  const std::size_t kAttempts = 6;
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < kAttempts; ++i) {
+    ServeRequest req;
+    req.session = session;
+    req.input = MakeTokens(8, 12000 + i, vocab);
+    req.max_reply_tokens = 2;
+    accepted += router.TrySubmit(std::move(req)).has_value() ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, copts.server.max_queue_depth);
+  EXPECT_EQ(router.shard_status(victim).jobs_shed, kAttempts - accepted);
+
+  release.store(true);
+  drainer.join();
+  router.Shutdown();
+
+  // Everything accepted (1 pre-drain + the parked 2) was served.
+  const auto replies = router.TakeReplies();
+  EXPECT_EQ(replies.size(), 1 + accepted);
+  for (const ServeReply& r : replies) {
+    EXPECT_TRUE(r.status.ok()) << "job " << r.job << ": " << r.status;
+  }
+}
+
+// Router-level EndSession retires the session everywhere: engine state on
+// its pinned shard plus the router's pin and turn counter (the next turn
+// starts over at turn_index 1).
+TEST_F(ClusterTest, EndSessionErasesPinTurnCounterAndEngineState) {
+  ClusterOptions copts;
+  copts.num_shards = 2;
+  copts.engine = DefaultEngineOptions();
+  ShardRouter router(&model_, copts);
+  const std::size_t vocab = model_.config().vocab_size;
+  const SessionId session = 5;
+
+  ServeRequest req;
+  req.session = session;
+  req.input = MakeTokens(8, 13000, vocab);
+  req.max_reply_tokens = 2;
+  router.Submit(std::move(req));
+  router.WaitIdle();
+
+  const ShardId pin = router.ShardOf(session);
+  const auto resident = router.shard_engine(pin).LiveSessions();
+  ASSERT_NE(std::find(resident.begin(), resident.end(), session), resident.end());
+
+  router.EndSession(session);
+  router.EndSession(static_cast<SessionId>(999));  // unknown: no-op
+
+  const auto after = router.shard_engine(pin).LiveSessions();
+  EXPECT_EQ(std::find(after.begin(), after.end(), session), after.end())
+      << "engine state survived EndSession";
+  EXPECT_EQ(router.shard_status(pin).sessions_resident, 0U);
+
+  // The same id starts a fresh session: turn counter reset to 1.
+  ServeRequest again;
+  again.session = session;
+  again.input = MakeTokens(8, 14000, vocab);
+  again.max_reply_tokens = 2;
+  router.Submit(std::move(again));
+  router.Shutdown();
+  const auto replies = router.TakeReplies();
+  ASSERT_EQ(replies.size(), 2U);
+  EXPECT_EQ(replies[0].turn_index, 1U);
+  EXPECT_EQ(replies[1].turn_index, 1U) << "turn counter not reset by EndSession";
 }
 
 TEST_F(ClusterTest, RepeatedShutdownIsIdempotentAndRepliesComeInJobOrder) {
