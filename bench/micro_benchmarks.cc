@@ -285,6 +285,84 @@ void BM_StoreRecoveryOpen(benchmark::State& state) {
 }
 BENCHMARK(BM_StoreRecoveryOpen)->Arg(16)->Arg(256);
 
+// Cross-session prefix sharing (DESIGN.md §17). A fleet of sessions saves
+// the same token prefix; after the warm-up put every chunk probe hits the
+// prefix index, so the steady-state cost is probes + one private-tail write
+// instead of serializing and copying the whole payload. bytes/sec counts
+// the *logical* payload, so the number reads as effective dedup throughput.
+// Arg = prefix tokens (1 KiB of KV per token, 64-token chunks).
+void BM_StoreSharedPrefixPut(benchmark::State& state) {
+  StoreBenchSetup();
+  StoreConfig config;
+  config.dram_capacity = GiB(8);
+  config.disk_capacity = 0;
+  config.block_bytes = KiB(64);
+  config.real_payloads = true;
+  config.share_prefixes = true;
+  config.share_chunk_tokens = 64;
+  AttentionStore store(config);
+  const SchedulerHints hints;
+  const auto prefix_tokens = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t bytes_per_token = KiB(1);
+  std::vector<std::uint32_t> tokens(prefix_tokens);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    tokens[i] = static_cast<std::uint32_t>(i * 2654435761u + 97u);
+  }
+  const std::vector<std::uint8_t> payload(prefix_tokens * bytes_per_token, 0x5A);
+  SimTime now = 0;
+  SessionId next = 0;
+  {
+    // Warm-up put pays the one-time chunk writes; iterations measure dedup.
+    SpanChunkSource source(payload, bytes_per_token);
+    CA_CHECK(store.PutShared(1'000'000, tokens, source, ++now, hints).ok());
+  }
+  for (auto _ : state) {
+    const SessionId s = next++ % 512;
+    SpanChunkSource source(payload, bytes_per_token);
+    benchmark::DoNotOptimize(store.PutShared(s, tokens, source, ++now, hints));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_StoreSharedPrefixPut)->Arg(512)->Arg(4096);
+
+// The chain-keyed probe itself: one warm session re-saves its prefix, every
+// chunk hits, and the tail write (one chunk's worth of bytes) is fixed-size
+// noise, so per-item cost converges on hash + index probe per chunk.
+// items/sec = chunk probes per second. Arg = prefix tokens (64/chunk).
+void BM_PrefixLookup(benchmark::State& state) {
+  StoreBenchSetup();
+  StoreConfig config;
+  config.dram_capacity = GiB(8);
+  config.disk_capacity = 0;
+  config.block_bytes = KiB(64);
+  config.real_payloads = true;
+  config.share_prefixes = true;
+  config.share_chunk_tokens = 64;
+  AttentionStore store(config);
+  const SchedulerHints hints;
+  const auto prefix_tokens = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t bytes_per_token = 64;  // small rows keep the tail write cheap
+  std::vector<std::uint32_t> tokens(prefix_tokens);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    tokens[i] = static_cast<std::uint32_t>(i * 2654435761u + 11u);
+  }
+  const std::vector<std::uint8_t> payload(prefix_tokens * bytes_per_token, 0xA5);
+  SimTime now = 0;
+  SpanChunkSource warm(payload, bytes_per_token);
+  CA_CHECK(store.PutShared(1, tokens, warm, ++now, hints).ok());
+  // Tail-nonempty rule: the last chunk of an exact multiple stays private,
+  // so an N-chunk prefix probes the index N-1 times per put.
+  const std::int64_t probes_per_put =
+      static_cast<std::int64_t>(prefix_tokens / config.share_chunk_tokens) - 1;
+  for (auto _ : state) {
+    SpanChunkSource source(payload, bytes_per_token);
+    benchmark::DoNotOptimize(store.PutShared(1, tokens, source, ++now, hints));
+  }
+  state.SetItemsProcessed(state.iterations() * probes_per_put);
+}
+BENCHMARK(BM_PrefixLookup)->Arg(1024)->Arg(8192);
+
 // The checksum primitive itself: args are {bytes, use_avx2}. The AVX2 row
 // is skipped (reported as 0 iterations) on machines without the ISA.
 void BM_Checksum64(benchmark::State& state) {

@@ -21,6 +21,7 @@
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/model/transformer.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/workload/sharegpt.h"
 
@@ -32,6 +33,26 @@ std::vector<ca::TokenId> RandomTokens(ca::Rng& rng, std::size_t n, std::size_t v
     t = static_cast<ca::TokenId>(rng.NextBounded(vocab));
   }
   return out;
+}
+
+void PrintHistogram(const ca::MetricsSnapshot& snapshot, const char* key,
+                    const char* label, double scale, const char* unit) {
+  for (const auto& h : snapshot.histograms) {
+    if (h.key == key) {
+      // Registered-but-empty histograms (a fully shed workload, a zero-turn
+      // run) have no meaningful percentiles: print n/a, not garbage.
+      if (h.view.count == 0) {
+        std::printf("  %-22s p50      n/a   p95      n/a   p99      n/a   (n=0)\n",
+                    label);
+        return;
+      }
+      std::printf("  %-22s p50 %8.3f%s   p95 %8.3f%s   p99 %8.3f%s   (n=%zu)\n",
+                  label, h.view.p50 * scale, unit, h.view.p95 * scale, unit,
+                  h.view.p99 * scale, unit, h.view.count);
+      return;
+    }
+  }
+  std::printf("  %-22s (no samples)\n", label);
 }
 
 }  // namespace
@@ -151,5 +172,13 @@ int main(int argc, char** argv) {
   }
   std::printf("\nmigrations: %llu sessions moved, zero accepted turns lost\n",
               static_cast<unsigned long long>(migrations));
+
+  // Cluster-wide latency percentiles: every shard's workers feed the global
+  // registry, so one snapshot covers them all.
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  std::printf("\nlatency (all shards)\n");
+  PrintHistogram(snapshot, "sched.queue_wait_seconds", "queue wait", 1e3, "ms");
+  PrintHistogram(snapshot, "serve.turn_seconds", "turn latency", 1e3, "ms");
+  PrintHistogram(snapshot, "engine.prefill_seconds", "prefill (TTFT)", 1e3, "ms");
   return ok == submitted ? 0 : 1;
 }

@@ -49,6 +49,103 @@ class DeserializerSink final : public PayloadSink {
   KvCache::StreamingDeserializer& deserializer_;
 };
 
+// Token-major counterparts (prefix sharing, DESIGN.md §17).
+class TokenMajorSource final : public PayloadSource {
+ public:
+  explicit TokenMajorSource(KvCache::TokenMajorSerializer& serializer)
+      : serializer_(&serializer) {}
+
+  std::uint64_t size() const override { return serializer_->size(); }
+  void Reset() override { serializer_->Reset(); }
+  void Fill(std::span<std::uint8_t> dest) override { serializer_->Fill(dest); }
+
+ private:
+  KvCache::TokenMajorSerializer* serializer_;
+};
+
+// ChunkedPayloadSource over the live cache: PutShared pulls exactly the
+// token ranges it misses on, each served by a fresh TokenMajorSerializer
+// cursor — dedup hits cost no serialization at all.
+class CacheChunkSource final : public ChunkedPayloadSource {
+ public:
+  explicit CacheChunkSource(const KvCache& cache) : cache_(&cache) {}
+
+  std::uint64_t total_tokens() const override { return cache_->seq_len(); }
+  std::uint64_t bytes_per_token() const override { return cache_->token_major_bytes_per_token(); }
+  PayloadSource& Range(std::uint64_t token_begin, std::uint64_t token_end) override {
+    serializer_.emplace(*cache_, static_cast<std::size_t>(token_begin),
+                        static_cast<std::size_t>(token_end));
+    source_.emplace(*serializer_);
+    return *source_;
+  }
+
+ private:
+  const KvCache* cache_;
+  std::optional<KvCache::TokenMajorSerializer> serializer_;
+  std::optional<TokenMajorSource> source_;
+};
+
+class TokenMajorSink final : public PayloadSink {
+ public:
+  explicit TokenMajorSink(KvCache::TokenMajorDeserializer& deserializer)
+      : deserializer_(&deserializer) {}
+
+  void Reset() override { deserializer_->Reset(); }
+  void Consume(std::span<const std::uint8_t> chunk) override { deserializer_->Consume(chunk); }
+
+ private:
+  KvCache::TokenMajorDeserializer* deserializer_;
+};
+
+// --- durable user-meta blob ---------------------------------------------
+//
+// v1 (pre-sharing engines): the raw host-endian TokenId history, nothing
+// else. v2 (written only when prefix sharing is configured) prepends a
+// two-byte header so the purity bit survives a restart:
+//   [u8 version=2][u8 kv_pure][raw TokenId history bytes]
+// Decoding sniffs the version by exact length against the record's token
+// count — the two layouts differ by exactly 2 bytes, so a blob can never
+// satisfy both checks.
+constexpr std::uint8_t kHistoryMetaV2 = 2;
+
+std::vector<std::uint8_t> EncodeHistoryMetaV2(std::span<const TokenId> history, bool kv_pure) {
+  std::vector<std::uint8_t> blob(2 + history.size() * sizeof(TokenId));
+  blob[0] = kHistoryMetaV2;
+  blob[1] = kv_pure ? 1 : 0;
+  std::memcpy(blob.data() + 2, history.data(), history.size() * sizeof(TokenId));
+  return blob;
+}
+
+struct DecodedHistoryMeta {
+  std::vector<TokenId> history;
+  bool kv_pure = false;
+};
+
+std::optional<DecodedHistoryMeta> DecodeHistoryMeta(const std::vector<std::uint8_t>& meta,
+                                                    std::uint64_t token_count) {
+  if (meta.empty() || token_count == 0) {
+    return std::nullopt;
+  }
+  DecodedHistoryMeta out;
+  const std::uint64_t history_bytes = token_count * sizeof(TokenId);
+  if (meta.size() == 2 + history_bytes && meta[0] == kHistoryMetaV2 && meta[1] <= 1) {
+    out.kv_pure = meta[1] == 1;
+    out.history.resize(token_count);
+    std::memcpy(out.history.data(), meta.data() + 2, history_bytes);
+    return out;
+  }
+  if (meta.size() == history_bytes) {
+    // v1: no purity bit persisted; assume impure so the restored session
+    // never feeds unverifiable rows into the shared prefix index (the next
+    // full recompute restores purity and with it dedup eligibility).
+    out.kv_pure = false;
+    out.history.resize(token_count);
+    std::memcpy(out.history.data(), meta.data(), history_bytes);
+    return out;
+  }
+  return std::nullopt;
+}
+
 // The engine always stores real payloads: capacity-only mode exists for the
 // simulator, not the execution path.
 StoreConfig PatchedStoreConfig(const EngineOptions& options) {
@@ -101,10 +198,9 @@ Status CachedAttentionEngine::RestoreSessions() {
     const auto info = store_.GetInfo(id);
     CA_CHECK(info.has_value());
     const std::vector<std::uint8_t>* meta = store_.UserMeta(id);
-    const bool usable = meta != nullptr && !meta->empty() &&
-                        meta->size() % sizeof(TokenId) == 0 &&
-                        meta->size() / sizeof(TokenId) == info->token_count;
-    if (!usable) {
+    std::optional<DecodedHistoryMeta> decoded =
+        meta != nullptr ? DecodeHistoryMeta(*meta, info->token_count) : std::nullopt;
+    if (!decoded.has_value()) {
       // KV bytes without a believable token history cannot serve a turn
       // (PrepareCache needs the text to detect length mismatches). Soft
       // state: drop to a clean miss.
@@ -113,8 +209,8 @@ Status CachedAttentionEngine::RestoreSessions() {
       continue;
     }
     SessionState& state = sessions_[id];
-    state.history.resize(meta->size() / sizeof(TokenId));
-    std::memcpy(state.history.data(), meta->data(), meta->size());
+    state.history = std::move(decoded->history);
+    state.kv_pure = decoded->kv_pure;
     ++restored;
   }
   if (restored > 0 || dropped > 0) {
@@ -177,6 +273,13 @@ std::vector<SessionId> CachedAttentionEngine::LiveSessions() const {
 
 Result<SessionSnapshot> CachedAttentionEngine::ExportSession(SessionId session) {
   CA_TRACE_SPAN("engine.export_session", "session", session);
+  // Async-save fence: an in-flight save on the write stream holds the
+  // turn's payload + history, and ExportRecord would otherwise snapshot the
+  // PREVIOUS turn's record while the history below is already current — a
+  // token_count/history mismatch the importer would reject (and rightly
+  // so). Draining first makes the record and the history the same turn's.
+  // The store lookup cannot race a re-queued save either: the router's
+  // drain protocol stops submissions before exporting.
   WaitForPendingSave(session);
   MutexLock lock(mutex_);
   const auto it = sessions_.find(session);
@@ -186,6 +289,7 @@ Result<SessionSnapshot> CachedAttentionEngine::ExportSession(SessionId session) 
   SessionSnapshot snap;
   snap.session = session;
   snap.history = it->second.history;
+  snap.kv_pure = it->second.kv_pure;
   auto exported = store_.ExportRecord(session);
   if (exported.ok()) {
     snap.record = *std::move(exported);
@@ -223,7 +327,9 @@ Status CachedAttentionEngine::ImportSession(SessionSnapshot snapshot) {
                    << " KV import failed (next turn recomputes): " << imported;
     }
   }
-  sessions_[snapshot.session].history = std::move(snapshot.history);
+  SessionState& state = sessions_[snapshot.session];
+  state.history = std::move(snapshot.history);
+  state.kv_pure = snapshot.kv_pure;
   return Status::Ok();
 }
 
@@ -289,9 +395,23 @@ Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& stat
         // non-OK read the half-built deserializer state is simply never
         // Finish()ed, which is the discard the sink contract requires.
         bool payload_ok = false;
+        // Shared records (PutShared) carry headerless token-major bytes; the
+        // shape travels out of band (record token count + engine PE mode).
+        // Private records keep the legacy self-describing wire form.
         KvCache::StreamingDeserializer deserializer(model_->config());
+        std::optional<KvCache::TokenMajorDeserializer> tm_deserializer;
+        if (info->shared) {
+          tm_deserializer.emplace(model_->config(), pe_mode(),
+                                  static_cast<std::size_t>(info->token_count));
+        }
         {
-          DeserializerSink sink(deserializer);
+          DeserializerSink legacy_sink(deserializer);
+          std::optional<TokenMajorSink> tm_sink;
+          if (tm_deserializer.has_value()) {
+            tm_sink.emplace(*tm_deserializer);
+          }
+          PayloadSink& sink =
+              tm_sink.has_value() ? static_cast<PayloadSink&>(*tm_sink) : legacy_sink;
           MutexLock lock(mutex_);
           const Status read = store_.ReadPayloadInto(session, sink);
           if (read.ok()) {
@@ -303,7 +423,8 @@ Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& stat
         }
         std::optional<KvCache> loaded_cache;
         if (payload_ok) {
-          auto loaded = deserializer.Finish();
+          auto loaded = tm_deserializer.has_value() ? tm_deserializer->Finish()
+                                                    : deserializer.Finish();
           if (loaded.ok()) {
             loaded_cache = std::move(*loaded);
           } else {
@@ -330,6 +451,10 @@ Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& stat
           // corrupting for the coupled-PE NKVT baseline).
           if (drop > 0) {
             cache.TruncateFront(drop);
+            // The surviving rows attended over the dropped context; a fresh
+            // prefill of the truncated history would not reproduce them, so
+            // this cache must stay out of the shared prefix index.
+            state.kv_pure = false;
           }
           cache_loaded = true;
           result.cache_hit = true;
@@ -351,8 +476,11 @@ Status CachedAttentionEngine::PrepareCache(SessionId session, SessionState& stat
     return Status::Ok();
   }
 
-  // Miss / recompute path: rebuild the history KV from the token text.
+  // Miss / recompute path: rebuild the history KV from the token text. A
+  // full recompute is by definition the pure prefill of the visible
+  // history, so it restores the session's sharing eligibility.
   (void)recompute;
+  state.kv_pure = true;
   CA_CHECK_EQ(cache.seq_len(), 0U);
   if (!state.history.empty()) {
     CA_TRACE_SPAN("engine.prefill_history", "tokens", state.history.size());
@@ -390,7 +518,7 @@ Result<Tensor> CachedAttentionEngine::ForwardTurn(SessionId session,
 
   state.history.insert(state.history.end(), tokens.begin(), tokens.end());
   if (options_.reuse_kv) {
-    SaveCache(session, cache, state.history);
+    SaveCache(session, cache, state);
   }
 
   AccumulateTurnStats(result);
@@ -465,7 +593,7 @@ Result<TurnResult> CachedAttentionEngine::Converse(SessionId session,
 
   if (options_.reuse_kv) {
     result.compressed_tokens = MaybeCompress(state, cache, mass.mass());
-    SaveCache(session, cache, state.history);
+    SaveCache(session, cache, state);
   }
 
   AccumulateTurnStats(result);
@@ -505,6 +633,10 @@ std::size_t CachedAttentionEngine::MaybeCompress(SessionState& state, KvCache& c
     return 0;
   }
   cache.DiscardTokens(discard);
+  // The kept rows were computed attending over the discarded ones: not the
+  // pure prefill of the compressed history, so no prefix sharing for this
+  // cache (SaveCache falls back to the private payload path).
+  state.kv_pure = false;
   // Keep the visible token history aligned with the cache: drop the same
   // positions (discard indices are strictly increasing).
   std::vector<TokenId> kept;
@@ -523,30 +655,58 @@ std::size_t CachedAttentionEngine::MaybeCompress(SessionState& state, KvCache& c
 }
 
 void CachedAttentionEngine::SaveCache(SessionId session, const KvCache& cache,
-                                      std::span<const TokenId> history) {
+                                      const SessionState& state) {
   if (cache.seq_len() == 0) {
     return;
   }
+  const std::span<const TokenId> history(state.history);
   const std::uint64_t tokens = cache.seq_len();
+  // Prefix sharing (DESIGN.md §17): pure caches go through PutShared in
+  // token-major form so identical history prefixes dedup across sessions.
+  // Impure caches (KV-truncated / compressed rows) and compression-enabled
+  // engines (purity flips turn to turn; keep the formats uniform) fall back
+  // to the private whole-payload path — replies stay bitwise-identical
+  // either way, sharing only changes where the bytes live.
+  const bool share = options_.store.share_prefixes && state.kv_pure &&
+                     options_.compression.policy == CompressionPolicy::kNone;
   // Durable stores persist the visible token history next to the payload so
-  // a restarted process can rebuild the session (RestoreSessions). Raw
-  // host-endian TokenId bytes — the journal treats the blob as opaque.
+  // a restarted process can rebuild the session (RestoreSessions). Sharing
+  // engines write the v2 blob (purity bit + history); everything else keeps
+  // the raw v1 TokenId bytes. The journal treats the blob as opaque.
+  std::vector<std::uint8_t> meta_storage;
   std::span<const std::uint8_t> user_meta;
   if (options_.store.durable) {
     CA_CHECK_EQ(history.size(), cache.seq_len());
-    user_meta = std::span<const std::uint8_t>(
-        reinterpret_cast<const std::uint8_t*>(history.data()), history.size() * sizeof(TokenId));
+    if (options_.store.share_prefixes) {
+      meta_storage = EncodeHistoryMetaV2(history, state.kv_pure);
+      user_meta = meta_storage;
+    } else {
+      user_meta = std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(history.data()),
+          history.size() * sizeof(TokenId));
+    }
   }
   if (write_stream_ == nullptr) {
     // Synchronous save: the serializer cursor feeds the store's zero-copy
     // Put, so the KV bytes go tensors → tier block memory in one pass with
-    // the checksum folded in along the way — no staging vector.
-    KvCache::Serializer serializer(cache);
-    SerializerSource source(serializer);
-    CA_TRACE_SPAN("engine.save", "session", session, "bytes", source.size());
+    // the checksum folded in along the way — no staging vector. The shared
+    // path goes one better: ranges the prefix index already holds are never
+    // serialized at all.
     MutexLock lock(mutex_);
     const SchedulerHints hints = CurrentHintsLocked();
-    const Status s = store_.Put(session, tokens, source, WallNow(), hints, user_meta);
+    Status s = Status::Ok();
+    if (share) {
+      CacheChunkSource source(cache);
+      const std::span<const std::uint32_t> token_bits(
+          reinterpret_cast<const std::uint32_t*>(history.data()), history.size());
+      CA_TRACE_SPAN("engine.save", "session", session, "tokens", tokens);
+      s = store_.PutShared(session, token_bits, source, WallNow(), hints, user_meta);
+    } else {
+      KvCache::Serializer serializer(cache);
+      SerializerSource source(serializer);
+      CA_TRACE_SPAN("engine.save", "session", session, "bytes", source.size());
+      s = store_.Put(session, tokens, source, WallNow(), hints, user_meta);
+    }
     if (!s.ok()) {
       CA_LOG(Debug) << "KV save for session " << session << " dropped: " << s;
     }
@@ -555,15 +715,29 @@ void CachedAttentionEngine::SaveCache(SessionId session, const KvCache& cache,
   // Serialize now: the cache buffer is only valid during this turn, and the
   // async stream outlives it, so the payload must be materialised before it
   // crosses threads. (The store side still moves vector → tier zero-copy.)
-  // The history blob is copied for the same reason.
-  std::vector<std::uint8_t> payload = cache.Serialize();
+  // The history and meta blobs are copied for the same reason; the shared
+  // path needs the history as PutShared's token argument.
+  std::vector<std::uint8_t> payload = share ? cache.SerializeTokenMajor() : cache.Serialize();
   std::vector<std::uint8_t> meta_copy(user_meta.begin(), user_meta.end());
+  std::vector<TokenId> history_copy =
+      share ? std::vector<TokenId>(history.begin(), history.end()) : std::vector<TokenId>{};
+  const std::uint64_t bytes_per_token = cache.token_major_bytes_per_token();
   // Invoked with mutex_ held (the stream task below locks first).
-  auto do_put = [this, session, tokens](const std::vector<std::uint8_t>& bytes,
-                                        const std::vector<std::uint8_t>& meta) {
+  auto do_put = [this, session, tokens, share, bytes_per_token](
+                    const std::vector<std::uint8_t>& bytes,
+                    const std::vector<std::uint8_t>& meta,
+                    const std::vector<TokenId>& hist) {
     mutex_.AssertHeld();
     const SchedulerHints hints = CurrentHintsLocked();
-    const Status s = store_.Put(session, bytes.size(), tokens, bytes, WallNow(), hints, meta);
+    Status s = Status::Ok();
+    if (share) {
+      SpanChunkSource source(bytes, bytes_per_token);
+      const std::span<const std::uint32_t> token_bits(
+          reinterpret_cast<const std::uint32_t*>(hist.data()), hist.size());
+      s = store_.PutShared(session, token_bits, source, WallNow(), hints, meta);
+    } else {
+      s = store_.Put(session, bytes.size(), tokens, bytes, WallNow(), hints, meta);
+    }
     if (!s.ok()) {
       CA_LOG(Debug) << "KV save for session " << session << " dropped: " << s;
     }
@@ -581,12 +755,13 @@ void CachedAttentionEngine::SaveCache(SessionId session, const KvCache& cache,
     pending_saves_.insert(session);
   }
   write_stream_->Submit([this, session, flow, do_put, payload = std::move(payload),
-                         meta_copy = std::move(meta_copy)] {
+                         meta_copy = std::move(meta_copy),
+                         history_copy = std::move(history_copy)] {
     {
       CA_TRACE_SPAN("engine.save.async", "session", session, "bytes", payload.size());
       CA_TRACE_FLOW_END("engine.save.async", flow);
       MutexLock lock(mutex_);
-      do_put(payload, meta_copy);
+      do_put(payload, meta_copy, history_copy);
       pending_saves_.erase(session);
     }
     save_done_.NotifyAll();

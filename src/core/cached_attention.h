@@ -117,6 +117,10 @@ struct SessionSnapshot {
   SessionId session = kInvalidSession;
   std::vector<TokenId> history;
   std::optional<ExportedRecord> record;
+  // Whether the snapshotted KV rows are the pure prefill of `history`
+  // (DESIGN.md §17). Impure caches (KV-truncated or TDL-compressed rows)
+  // must never enter the cross-session prefix index on the importing shard.
+  bool kv_pure = true;
 };
 
 class CachedAttentionEngine {
@@ -244,6 +248,15 @@ class CachedAttentionEngine {
  private:
   struct SessionState {
     std::vector<TokenId> history;  // token text, already truncation-clamped
+    // True while the session's KV rows equal a from-scratch prefill of
+    // `history` under the current PE mode. KV truncation drops front rows
+    // whose context the survivors already attended over, and TDL
+    // compression discards interior rows — both leave rows that a fresh
+    // prefill of the visible history would not reproduce, so such caches
+    // are excluded from cross-session prefix sharing (they would poison
+    // the dedup index for sessions with genuinely identical prefixes). A
+    // full recompute restores purity.
+    bool kv_pure = true;
   };
 
   // Rebuilds sessions_ from the recovered store's user-meta blobs (token
@@ -270,11 +283,15 @@ class CachedAttentionEngine {
   // worker threads serialize their accounting here.
   void AccumulateTurnStats(const TurnResult& result) CA_EXCLUDES(mutex_);
 
-  // `history` is the session's full visible token text, already aligned
-  // with the cache (history.size() == cache.seq_len()). Durable stores
-  // persist it as the record's user-meta blob so Create() can rebuild the
-  // session after a restart; ephemeral stores ignore it.
-  void SaveCache(SessionId session, const KvCache& cache, std::span<const TokenId> history)
+  // Persists the turn's KV cache. `state.history` is the session's full
+  // visible token text, already aligned with the cache (history.size() ==
+  // cache.seq_len()). Durable stores persist it as the record's user-meta
+  // blob so Create() can rebuild the session after a restart; ephemeral
+  // stores ignore it. When prefix sharing is on and the cache is pure
+  // (state.kv_pure, no compression), the save goes through PutShared in
+  // token-major form so identical prefixes dedup across sessions;
+  // otherwise it falls back to the private whole-payload Put.
+  void SaveCache(SessionId session, const KvCache& cache, const SessionState& state)
       CA_EXCLUDES(mutex_);
   void WaitForPendingSave(SessionId session) CA_EXCLUDES(mutex_);
   SchedulerHints CurrentHintsLocked() const CA_REQUIRES(mutex_);

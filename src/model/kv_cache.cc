@@ -334,4 +334,126 @@ Result<KvCache> KvCache::Deserialize(const ModelConfig& config,
   return cursor.Finish();
 }
 
+KvCache::TokenMajorSerializer::TokenMajorSerializer(const KvCache& cache, std::size_t token_begin,
+                                                    std::size_t token_end)
+    : cache_(&cache), begin_(token_begin), end_(token_end) {
+  const std::size_t len = cache.seq_len();
+  for (std::size_t layer = 0; layer < cache.k_.size(); ++layer) {
+    CA_CHECK_EQ(cache.layer_len(layer), len) << "Serialize mid-forward";
+  }
+  CA_CHECK_LE(token_begin, token_end);
+  CA_CHECK_LE(token_end, len);
+  total_ = static_cast<std::uint64_t>(token_end - token_begin) * cache.token_major_bytes_per_token();
+  Reset();
+}
+
+void KvCache::TokenMajorSerializer::Fill(std::span<std::uint8_t> dest) {
+  const std::size_t row_bytes = cache_->kv_dim_ * sizeof(float);
+  const std::size_t rows_per_token = 2 * cache_->k_.size();
+  std::size_t off = 0;
+  while (off < dest.size()) {
+    CA_CHECK_LT(token_, end_) << "Fill past the serialized payload";
+    if (row_off_ == row_bytes) {
+      row_off_ = 0;
+      if (++row_ == rows_per_token) {
+        row_ = 0;
+        ++token_;
+        continue;
+      }
+    }
+    const std::size_t layer = row_ / 2;
+    const std::vector<float>& plane = (row_ % 2 == 0) ? cache_->k_[layer] : cache_->v_[layer];
+    const auto* row = reinterpret_cast<const std::uint8_t*>(plane.data()) +
+                      token_ * row_bytes;
+    const std::size_t take = std::min(dest.size() - off, row_bytes - row_off_);
+    std::memcpy(dest.data() + off, row + row_off_, take);
+    off += take;
+    row_off_ += take;
+  }
+  // Normalise so the past-the-end check above fires only on a true overrun.
+  if (row_off_ == row_bytes && row_ + 1 == rows_per_token) {
+    row_ = 0;
+    row_off_ = 0;
+    ++token_;
+  }
+}
+
+std::vector<std::uint8_t> KvCache::SerializeTokenMajor() const {
+  std::vector<std::uint8_t> out(seq_len() * token_major_bytes_per_token());
+  TokenMajorSerializer cursor(*this, 0, seq_len());
+  cursor.Fill(out);
+  return out;
+}
+
+KvCache::TokenMajorDeserializer::TokenMajorDeserializer(const ModelConfig& config, PeMode pe_mode,
+                                                        std::size_t seq_len)
+    : config_(&config), pe_mode_(pe_mode), seq_len_(seq_len) {
+  Reset();
+}
+
+void KvCache::TokenMajorDeserializer::Reset() {
+  error_ = Status::Ok();
+  consumed_ = 0;
+  token_ = 0;
+  row_ = 0;
+  row_off_ = 0;
+  if (seq_len_ > config_->context_window) {
+    // Same guard as ParseHeader: a garbage token count must not drive the
+    // tensor allocation.
+    error_ = InvalidArgumentError("KV cache seq_len exceeds the context window");
+    cache_.reset();
+    return;
+  }
+  cache_ = std::make_unique<KvCache>(*config_, pe_mode_);
+  expected_total_ = static_cast<std::uint64_t>(seq_len_) * cache_->token_major_bytes_per_token();
+  const std::size_t layer_floats = seq_len_ * config_->kv_dim();
+  for (std::size_t layer = 0; layer < cache_->k_.size(); ++layer) {
+    cache_->k_[layer].resize(layer_floats);
+    cache_->v_[layer].resize(layer_floats);
+  }
+}
+
+void KvCache::TokenMajorDeserializer::Consume(std::span<const std::uint8_t> chunk) {
+  consumed_ += chunk.size();
+  if (!error_.ok()) {
+    return;  // swallow the rest; Finish() reports the first failure
+  }
+  const std::size_t row_bytes = config_->kv_dim() * sizeof(float);
+  const std::size_t rows_per_token = 2 * cache_->k_.size();
+  while (!chunk.empty()) {
+    if (token_ >= seq_len_) {
+      error_ = InvalidArgumentError("KV cache buffer size mismatch");
+      return;
+    }
+    if (row_off_ == row_bytes) {
+      row_off_ = 0;
+      if (++row_ == rows_per_token) {
+        row_ = 0;
+        ++token_;
+        continue;
+      }
+    }
+    const std::size_t layer = row_ / 2;
+    std::vector<float>& plane = (row_ % 2 == 0) ? cache_->k_[layer] : cache_->v_[layer];
+    auto* row = reinterpret_cast<std::uint8_t*>(plane.data()) + token_ * row_bytes;
+    const std::size_t take = std::min(chunk.size(), row_bytes - row_off_);
+    std::memcpy(row + row_off_, chunk.data(), take);
+    row_off_ += take;
+    chunk = chunk.subspan(take);
+  }
+}
+
+Result<KvCache> KvCache::TokenMajorDeserializer::Finish() {
+  if (!error_.ok()) {
+    return error_;
+  }
+  if (consumed_ != expected_total_) {
+    return InvalidArgumentError("KV cache buffer size mismatch");
+  }
+  CA_CHECK(cache_ != nullptr);
+  KvCache out = std::move(*cache_);
+  cache_.reset();
+  return out;
+}
+
 }  // namespace ca

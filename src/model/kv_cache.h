@@ -127,6 +127,80 @@ class KvCache {
     std::size_t seg_off_ = 0;
   };
 
+  // --- token-major wire form (prefix sharing, DESIGN.md §17) -----------
+  //
+  // Alternative headerless layout used by the store's shared-prefix chunks:
+  // for token t, for layer l: the K row then the V row (kv_dim floats each).
+  // Byte offset t * token_major_bytes_per_token() is therefore a token
+  // boundary, which is what lets the store split a payload into fixed
+  // token-count chunks and dedup them across sessions. Shape (pe_mode,
+  // n_layers, kv_dim, seq_len) travels out of band via the store's record
+  // metadata, not a header.
+
+  // Bytes one token occupies in the token-major form (2 rows per layer).
+  static std::uint64_t TokenMajorBytesPerToken(const ModelConfig& config) {
+    return static_cast<std::uint64_t>(2 * config.n_layers * config.kv_dim()) * sizeof(float);
+  }
+  std::uint64_t token_major_bytes_per_token() const {
+    return static_cast<std::uint64_t>(2 * k_.size() * kv_dim_) * sizeof(float);
+  }
+
+  // Restartable cursor over the token-major bytes of tokens
+  // [token_begin, token_end). Same lifetime contract as Serializer: the
+  // cache must stay alive and unmodified while the cursor reads it.
+  class TokenMajorSerializer {
+   public:
+    TokenMajorSerializer(const KvCache& cache, std::size_t token_begin, std::size_t token_end);
+
+    std::uint64_t size() const { return total_; }
+    void Reset() {
+      token_ = begin_;
+      row_ = 0;
+      row_off_ = 0;
+    }
+    // Produces the next dest.size() bytes of the token-major form.
+    void Fill(std::span<std::uint8_t> dest);
+
+   private:
+    const KvCache* cache_;
+    std::size_t begin_ = 0;
+    std::size_t end_ = 0;
+    std::uint64_t total_ = 0;
+    std::size_t token_ = 0;
+    std::size_t row_ = 0;      // in [0, 2 * n_layers): K row, V row per layer
+    std::size_t row_off_ = 0;  // bytes already emitted of the current row
+  };
+
+  // Materialised token-major form of the whole cache (async save path).
+  std::vector<std::uint8_t> SerializeTokenMajor() const;
+
+  // Streaming inverse of the token-major form. seq_len arrives out of band
+  // (the store's record token count); Consume takes arbitrary chunking and
+  // Finish() validates the byte count and yields the cache.
+  class TokenMajorDeserializer {
+   public:
+    TokenMajorDeserializer(const ModelConfig& config, PeMode pe_mode, std::size_t seq_len);
+
+    void Reset();
+    void Consume(std::span<const std::uint8_t> chunk);
+    // Consumes the built cache; the deserializer is spent afterwards
+    // (Reset() before reuse).
+    Result<KvCache> Finish();
+
+   private:
+    const ModelConfig* config_;
+    PeMode pe_mode_;
+    std::size_t seq_len_ = 0;
+    // unique_ptr for the same incomplete-type reason as StreamingDeserializer.
+    std::unique_ptr<KvCache> cache_;
+    Status error_ = Status::Ok();
+    std::uint64_t expected_total_ = 0;
+    std::uint64_t consumed_ = 0;
+    std::size_t token_ = 0;
+    std::size_t row_ = 0;
+    std::size_t row_off_ = 0;
+  };
+
   // Incremental inverse: chunks of the wire form arrive in byte order (any
   // chunking) via Consume; Finish() validates and yields the cache. Once the
   // header has been consumed and validated, payload bytes are copied

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "src/common/check.h"
@@ -93,6 +94,65 @@ class HashingSink final : public PayloadSink {
   const bool enabled_;
   ChunkedHash64 hash_;
 };
+
+// --- prefix-sharing helpers (DESIGN.md §17) --------------------------------
+
+// Chain key of a chunk: mixes the parent chunk's chain key with the hash of
+// this chunk's token contents, so equal keys can only collide across
+// *different* prefixes by hash accident — which the index probe then rules
+// out by comparing parent identity and raw tokens.
+constexpr std::uint64_t kChainSeed = 0x9E3779B97F4A7C15ULL;
+
+std::uint64_t ChainKey(std::uint64_t parent_key, std::span<const std::uint32_t> tokens) {
+  const std::span<const std::uint8_t> token_bytes(
+      reinterpret_cast<const std::uint8_t*>(tokens.data()), tokens.size() * sizeof(std::uint32_t));
+  const std::uint64_t pair[2] = {parent_key, Fnv1a64(token_bytes)};
+  return Fnv1a64(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(pair), sizeof pair));
+}
+
+// Chunk descriptor persisted as the chunk record's user_meta (the store is
+// its own caller for hidden chunk records), so durable recovery can rebuild
+// the registry and prefix index from replayed records alone.
+// Layout: [u32 magic][u64 chain key][u64 parent id][u32 n][u32 tokens...].
+constexpr std::uint32_t kChunkMetaMagic = 0x48434143;  // "CACH"
+
+std::vector<std::uint8_t> EncodeChunkMeta(std::uint64_t key, SessionId parent,
+                                          std::span<const std::uint32_t> tokens) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + 8 + 8 + 4 + tokens.size() * sizeof(std::uint32_t));
+  const auto raw = [&out](const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const std::uint8_t*>(p);
+    out.insert(out.end(), bytes, bytes + n);
+  };
+  raw(&kChunkMetaMagic, sizeof kChunkMetaMagic);
+  raw(&key, sizeof key);
+  raw(&parent, sizeof parent);
+  const auto n = static_cast<std::uint32_t>(tokens.size());
+  raw(&n, sizeof n);
+  raw(tokens.data(), tokens.size() * sizeof(std::uint32_t));
+  return out;
+}
+
+bool DecodeChunkMeta(std::span<const std::uint8_t> meta, std::uint64_t& key, SessionId& parent,
+                     std::vector<std::uint32_t>& tokens) {
+  constexpr std::size_t kHeader = 4 + 8 + 8 + 4;
+  if (meta.size() < kHeader) {
+    return false;
+  }
+  std::uint32_t magic = 0;
+  std::uint32_t n = 0;
+  std::memcpy(&magic, meta.data(), sizeof magic);
+  std::memcpy(&key, meta.data() + 4, sizeof key);
+  std::memcpy(&parent, meta.data() + 12, sizeof parent);
+  std::memcpy(&n, meta.data() + 20, sizeof n);
+  if (magic != kChunkMetaMagic || meta.size() != kHeader + n * sizeof(std::uint32_t)) {
+    return false;
+  }
+  tokens.resize(n);
+  std::memcpy(tokens.data(), meta.data() + kHeader, n * sizeof(std::uint32_t));
+  return true;
+}
 
 }  // namespace
 
@@ -286,7 +346,9 @@ Status AttentionStore::RecoverFromJournal() {
                     .insert_seq = rec->insert_seq,
                     .extent = std::move(extent),
                     .checksum = rec->checksum,
-                    .user_meta = rec->user_meta};
+                    .user_meta = rec->user_meta,
+                    .shared_format = rec->shared_format,
+                    .chunk_refs = rec->chunk_refs};
     used_bytes_[static_cast<std::size_t>(Tier::kDisk)] += record.block_bytes;
     next_insert_seq_ = std::max(next_insert_seq_, rec->insert_seq + 1);
     records_.emplace(rec->session, std::move(record));
@@ -298,6 +360,10 @@ Status AttentionStore::RecoverFromJournal() {
       CA_LOG(Warn) << "journal erase of dropped session " << session << " failed: " << erased;
     }
   }
+  // Rebuild the sharing state (chunk registry, prefix index, derived
+  // refcounts) from the recovered records before compacting, so the
+  // snapshot already excludes anything this pass reconciles away.
+  RecoverSharedState();
   // One compaction so the next open replays a snapshot, not history.
   const Status compacted = meta_->Compact();
   if (!compacted.ok()) {
@@ -327,6 +393,8 @@ void AttentionStore::JournalUpsert(const KvRecord& record,
   rec.last_access = record.last_access;
   rec.insert_seq = record.insert_seq;
   rec.checksum = record.checksum;
+  rec.shared_format = record.shared_format;
+  rec.chunk_refs = record.chunk_refs;
   if (record.tier == Tier::kDisk) {
     rec.blocks = record.extent.blocks;
   }
@@ -352,6 +420,172 @@ void AttentionStore::JournalErase(SessionId session) {
   const Status s = meta_->Erase(session);
   if (!s.ok()) {
     CA_LOG(Warn) << "metadata journal erase failed for session " << session << ": " << s;
+  }
+}
+
+void AttentionStore::JournalAccessMaybe(KvRecord& record) {
+  if (meta_ == nullptr || config_.access_journal_every_n == 0) {
+    return;
+  }
+  if (++record.accesses_since_journal < config_.access_journal_every_n) {
+    return;
+  }
+  record.accesses_since_journal = 0;
+  ++stats_.access_checkpoints;
+  const Status s = meta_->Access(record.session, record.last_access);
+  if (!s.ok()) {
+    CA_LOG(Warn) << "access checkpoint append failed for session " << record.session << ": " << s;
+  }
+}
+
+// --- prefix sharing internals (DESIGN.md §17) ------------------------------
+
+void AttentionStore::RefChunk(SessionId chunk_id) { ++chunks_.at(chunk_id).refcount; }
+
+void AttentionStore::UnrefChunk(SessionId chunk_id) {
+  const auto cit = chunks_.find(chunk_id);
+  CA_CHECK(cit != chunks_.end()) << "unref of unknown chunk " << chunk_id;
+  SharedChunk& chunk = cit->second;
+  CA_CHECK_GT(chunk.refcount, 0U) << "chunk " << chunk_id << " refcount underflow";
+  if (--chunk.refcount > 0) {
+    return;
+  }
+  // Last reference gone: free the hidden chunk record and unindex it.
+  const auto rit = records_.find(chunk_id);
+  CA_CHECK(rit != records_.end()) << "chunk " << chunk_id << " registry/record split";
+  if (rit->second.tier != Tier::kNone) {
+    (void)MoveRecord(rit->second, Tier::kNone);
+  }
+  records_.erase(rit);
+  JournalErase(chunk_id);
+  const auto idx = prefix_index_.find(chunk.key);
+  CA_CHECK(idx != prefix_index_.end());
+  auto& bucket = idx->second;
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), chunk_id), bucket.end());
+  if (bucket.empty()) {
+    prefix_index_.erase(idx);
+  }
+  chunks_.erase(cit);
+  ++stats_.chunks_freed;
+}
+
+void AttentionStore::DropRecord(SessionId session) {
+  const auto it = records_.find(session);
+  if (it == records_.end()) {
+    return;
+  }
+  const std::vector<SessionId> refs = std::move(it->second.chunk_refs);
+  if (it->second.tier != Tier::kNone) {
+    (void)MoveRecord(it->second, Tier::kNone);
+  }
+  records_.erase(it);
+  JournalErase(session);
+  for (const SessionId ref : refs) {
+    UnrefChunk(ref);
+  }
+}
+
+void AttentionStore::DropChunkReferrers(SessionId chunk_id, std::uint64_t StoreStats::* reason) {
+  std::vector<SessionId> referrers;
+  for (const auto& [id, r] : records_) {
+    if (!IsChunkId(id) &&
+        std::find(r.chunk_refs.begin(), r.chunk_refs.end(), chunk_id) != r.chunk_refs.end()) {
+      referrers.push_back(id);
+    }
+  }
+  for (const SessionId id : referrers) {
+    DropRecord(id);
+    ++(stats_.*reason);
+  }
+  // The last DropRecord unrefs the chunk to zero, which frees it. A chunk
+  // that survives here has references not backed by any table — only
+  // in-flight pins can cause that, and pinned chunks are never offered as
+  // victims nor resident in a purged tier while pinned.
+  CA_CHECK(records_.find(chunk_id) == records_.end())
+      << "chunk " << chunk_id << " survived its referrer cascade";
+}
+
+void AttentionStore::RecoverSharedState() {
+  // 1. Rebuild the chunk registry + prefix index from recovered chunk
+  //    records. An undecodable descriptor loses only that chunk (and, below,
+  //    its referrers) — a clean miss, never corruption.
+  std::vector<SessionId> bad_chunks;
+  for (const auto& [id, r] : records_) {
+    if (!IsChunkId(id)) {
+      continue;
+    }
+    std::uint64_t key = 0;
+    SessionId parent = kInvalidSession;
+    std::vector<std::uint32_t> tokens;
+    if (!DecodeChunkMeta(r.user_meta, key, parent, tokens) || tokens.size() != r.token_count) {
+      bad_chunks.push_back(id);
+      continue;
+    }
+    next_chunk_id_ = std::max(next_chunk_id_, (id & ~kChunkSessionBit) + 1);
+    prefix_index_[key].push_back(id);
+    chunks_.emplace(id, SharedChunk{key, parent, std::move(tokens), 0});
+  }
+  const auto raw_free = [this](SessionId id) {
+    auto it = records_.find(id);
+    CA_CHECK(it != records_.end());
+    if (it->second.tier != Tier::kNone) {
+      (void)MoveRecord(it->second, Tier::kNone);
+    }
+    records_.erase(it);
+    JournalErase(id);
+    ++recovery_stats_.records_reconciled_missing;
+  };
+  for (const SessionId id : bad_chunks) {
+    CA_LOG(Warn) << "recovery dropped chunk " << id << ": undecodable descriptor";
+    raw_free(id);
+  }
+  // 2. A session whose block table references a missing chunk lost part of
+  //    its prefix; drop it whole (refcounts are not derived yet, so this is
+  //    a raw free, not DropRecord).
+  std::vector<SessionId> bad_sessions;
+  for (const auto& [id, r] : records_) {
+    if (IsChunkId(id)) {
+      continue;
+    }
+    for (const SessionId ref : r.chunk_refs) {
+      if (chunks_.find(ref) == chunks_.end()) {
+        bad_sessions.push_back(id);
+        break;
+      }
+    }
+  }
+  for (const SessionId id : bad_sessions) {
+    CA_LOG(Warn) << "recovery dropped session " << id << ": block table references a lost chunk";
+    raw_free(id);
+  }
+  // 3. Derive refcounts from the surviving tables — the journal never
+  //    stores them, so replay can neither double-free nor leak.
+  for (const auto& [id, r] : records_) {
+    if (IsChunkId(id)) {
+      continue;
+    }
+    for (const SessionId ref : r.chunk_refs) {
+      ++chunks_.at(ref).refcount;
+    }
+  }
+  // 4. Chunks with zero surviving referrers are garbage from the crash
+  //    window (e.g. the referrer's upsert never hit the journal).
+  std::vector<SessionId> orphans;
+  for (const auto& [id, chunk] : chunks_) {
+    if (chunk.refcount == 0) {
+      orphans.push_back(id);
+    }
+  }
+  for (const SessionId id : orphans) {
+    CA_LOG(Info) << "recovery garbage-collected orphan chunk " << id;
+    const SharedChunk chunk = chunks_.at(id);
+    raw_free(id);
+    auto& bucket = prefix_index_.at(chunk.key);
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+    if (bucket.empty()) {
+      prefix_index_.erase(chunk.key);
+    }
+    chunks_.erase(id);
   }
 }
 
@@ -449,6 +683,53 @@ void AttentionStore::CheckInvariants() const {
     tier_bytes[static_cast<std::size_t>(r.tier)] += r.block_bytes;
     tier_blocks[static_cast<std::size_t>(r.tier)] += r.extent.blocks.size();
   }
+  // Prefix sharing (DESIGN.md §17): registry/records 1:1, every table entry
+  // resolves, refcounts equal the number of referencing tables (plus
+  // in-flight pins), and the index holds each chunk exactly once.
+  std::size_t chunk_records = 0;
+  std::unordered_map<SessionId, std::uint32_t> derived_refs;
+  for (const auto& [id, r] : records_) {
+    if (IsChunkId(id)) {
+      ++chunk_records;
+      const auto cit = chunks_.find(id);
+      CA_CHECK(cit != chunks_.end()) << "chunk record " << id << " missing from the registry";
+      CA_CHECK_EQ(r.token_count, cit->second.tokens.size())
+          << "chunk " << id << " token count drifted from its descriptor";
+      CA_CHECK(r.chunk_refs.empty()) << "chunk " << id << " owns a block table";
+      const auto idx = prefix_index_.find(cit->second.key);
+      CA_CHECK(idx != prefix_index_.end()) << "chunk " << id << " missing from the prefix index";
+      CA_CHECK_EQ(std::count(idx->second.begin(), idx->second.end(), id), 1)
+          << "chunk " << id << " indexed other than exactly once";
+    } else {
+      for (const SessionId ref : r.chunk_refs) {
+        CA_CHECK(IsChunkId(ref)) << "session " << id << " block table holds a non-chunk id";
+        CA_CHECK(records_.find(ref) != records_.end())
+            << "session " << id << " block table references freed chunk " << ref;
+        ++derived_refs[ref];
+      }
+    }
+  }
+  CA_CHECK_EQ(chunk_records, chunks_.size()) << "chunk registry drifted from chunk records";
+  for (const SessionId pin : pinned_chunks_) {
+    ++derived_refs[pin];
+  }
+  for (const auto& [id, chunk] : chunks_) {
+    CA_CHECK_GT(chunk.refcount, 0U) << "zero-ref chunk " << id << " leaked";
+    const auto dit = derived_refs.find(id);
+    CA_CHECK(dit != derived_refs.end() && dit->second == chunk.refcount)
+        << "chunk " << id << " refcount drifted from its referencing tables";
+  }
+  std::size_t indexed = 0;
+  for (const auto& [key, bucket] : prefix_index_) {
+    CA_CHECK(!bucket.empty()) << "empty prefix-index bucket leaked";
+    indexed += bucket.size();
+    for (const SessionId id : bucket) {
+      const auto cit = chunks_.find(id);
+      CA_CHECK(cit != chunks_.end() && cit->second.key == key)
+          << "prefix index entry " << id << " does not match its chunk";
+    }
+  }
+  CA_CHECK_EQ(indexed, chunks_.size()) << "prefix index size drifted from the chunk registry";
   for (const Tier tier : {Tier::kHbm, Tier::kDram, Tier::kDisk}) {
     const auto idx = static_cast<std::size_t>(tier);
     CA_CHECK_LE(used_bytes_[idx], CapacityBytes(tier))
@@ -477,6 +758,10 @@ void AttentionStore::CheckInvariants() const {
       CA_CHECK_EQ(m.checksum, r.checksum) << "session " << id << " journal checksum drifted";
       CA_CHECK(m.user_meta == r.user_meta)
           << "session " << id << " journal user_meta drifted from the record copy";
+      CA_CHECK(m.shared_format == r.shared_format)
+          << "session " << id << " journal shared-format flag drifted";
+      CA_CHECK(m.chunk_refs == r.chunk_refs)
+          << "session " << id << " journal block table drifted from the record copy";
       if (r.tier == Tier::kDisk) {
         CA_CHECK(m.blocks == r.extent.blocks)
             << "session " << id << " journal extent drifted from the disk extent";
@@ -564,12 +849,26 @@ void AttentionStore::PurgeQuarantined() {
     if (tier_health_[static_cast<std::size_t>(tier)].health != TierHealth::kQuarantined) {
       continue;
     }
-    for (const SessionId id : SessionsInTier(tier)) {
-      KvRecord& r = records_.at(id);
-      (void)MoveRecord(r, Tier::kNone);  // allocator-only free: safe on a dead device
-      records_.erase(id);
-      JournalErase(id);
-      ++stats_.fault_evictions;
+    // Snapshot residents first: DropRecord/DropChunkReferrers mutate the
+    // map (and an earlier cascade may already have freed a later entry).
+    // Allocator-only frees throughout — safe on a dead device.
+    std::vector<SessionId> resident;
+    for (const auto& [id, r] : records_) {
+      if (r.tier == tier) {
+        resident.push_back(id);
+      }
+    }
+    for (const SessionId id : resident) {
+      if (records_.find(id) == records_.end()) {
+        continue;  // freed by an earlier referrer cascade
+      }
+      if (IsChunkId(id)) {
+        // A dead chunk is a miss for every referrer, wherever they reside.
+        DropChunkReferrers(id, &StoreStats::fault_evictions);
+      } else {
+        DropRecord(id);
+        ++stats_.fault_evictions;
+      }
     }
   }
 }
@@ -703,11 +1002,17 @@ std::optional<KvRecordInfo> AttentionStore::GetInfo(SessionId session) const {
     return std::nullopt;
   }
   const KvRecord& r = it->second;
+  std::uint64_t payload_bytes = r.bytes;
+  for (const SessionId ref : r.chunk_refs) {
+    payload_bytes += records_.at(ref).bytes;
+  }
   return KvRecordInfo{.session = r.session,
                       .tier = r.tier,
                       .bytes = r.bytes,
                       .token_count = r.token_count,
-                      .last_access = r.last_access};
+                      .last_access = r.last_access,
+                      .shared = r.shared_format,
+                      .payload_bytes = payload_bytes};
 }
 
 std::optional<KvRecordInfo> AttentionStore::Access(SessionId session, SimTime now) {
@@ -736,19 +1041,49 @@ std::optional<KvRecordInfo> AttentionStore::Access(SessionId session, SimTime no
   hit_counters_[static_cast<std::size_t>(r.tier)]->Add();
   CA_TRACE_INSTANT("store.hit", "session", session, "tier", TierName(r.tier));
   r.last_access = now;
+  // A hit on the session is a hit on every chunk its prefix lives in: keep
+  // shared blocks recency-warm so LRU-ish policies do not evict a block the
+  // hottest sessions still reference.
+  for (const SessionId ref : r.chunk_refs) {
+    if (const auto cit = records_.find(ref); cit != records_.end()) {
+      cit->second.last_access = now;
+    }
+  }
+  JournalAccessMaybe(r);
   return GetInfo(session);
 }
 
 std::optional<SessionId> AttentionStore::PickVictim(Tier tier, SessionId exclude,
                                                     const SchedulerHints& hints) {
+  // Chunks referenced by `exclude` are as untouchable as `exclude` itself:
+  // evicting one would cascade-drop the excluded session's record while a
+  // caller may hold a reference into it.
+  const std::vector<SessionId>* exclude_refs = nullptr;
+  if (const auto eit = records_.find(exclude);
+      eit != records_.end() && !eit->second.chunk_refs.empty()) {
+    exclude_refs = &eit->second.chunk_refs;
+  }
   std::vector<VictimView> candidates;
   for (const auto& [id, r] : records_) {
-    if (r.tier == tier && id != exclude) {
-      candidates.push_back(VictimView{.session = id,
-                                      .last_access = r.last_access,
-                                      .insert_seq = r.insert_seq,
-                                      .bytes = r.bytes});
+    if (r.tier != tier || id == exclude) {
+      continue;
     }
+    std::uint32_t shared_refs = 0;
+    if (IsChunkId(id)) {
+      if (std::find(pinned_chunks_.begin(), pinned_chunks_.end(), id) != pinned_chunks_.end()) {
+        continue;  // in-flight pin: refcount cannot drain through referrers
+      }
+      if (exclude_refs != nullptr &&
+          std::find(exclude_refs->begin(), exclude_refs->end(), id) != exclude_refs->end()) {
+        continue;
+      }
+      shared_refs = chunks_.at(id).refcount;
+    }
+    candidates.push_back(VictimView{.session = id,
+                                    .last_access = r.last_access,
+                                    .insert_seq = r.insert_seq,
+                                    .bytes = r.bytes,
+                                    .shared_refs = shared_refs});
   }
   if (candidates.empty()) {
     return std::nullopt;
@@ -814,11 +1149,18 @@ bool AttentionStore::EnsureRoom(Tier tier, std::uint64_t needed, SessionId exclu
     if (!victim.has_value()) {
       return false;
     }
-    KvRecord& r = records_.at(*victim);
+    const std::uint64_t victim_block_bytes = records_.at(*victim).block_bytes;
     const Tier down = NextSlowerTier(tier);
     bool demoted = false;
     bool move_failed = false;
-    if (down != Tier::kNone && EnsureRoom(down, r.block_bytes, exclude, now, hints)) {
+    if (down != Tier::kNone && EnsureRoom(down, victim_block_bytes, exclude, now, hints)) {
+      // Revalidate: the recursive call may have cascade-dropped the victim
+      // (a session whose shared chunk was evicted from the lower tier).
+      const auto vit = records_.find(*victim);
+      if (vit == records_.end()) {
+        continue;
+      }
+      KvRecord& r = vit->second;
       const Status moved = MoveRecord(r, down);
       if (moved.ok()) {
         demoted = true;
@@ -833,16 +1175,20 @@ bool AttentionStore::EnsureRoom(Tier tier, std::uint64_t needed, SessionId exclu
     if (!demoted) {
       // Nowhere below, or the demotion I/O failed. Room must still be made,
       // so the victim leaves the system — soft state, the cost is a miss.
-      if (r.tier != Tier::kNone) {  // a DataLoss move already released it
-        (void)MoveRecord(r, Tier::kNone);
-      }
-      if (move_failed) {
-        ++stats_.fault_evictions;
+      if (IsChunkId(*victim)) {
+        // Evicting a shared chunk makes every referencing session a
+        // consistent miss; the cascade drives the refcount to zero and
+        // frees the chunk itself.
+        DropChunkReferrers(*victim, move_failed ? &StoreStats::fault_evictions
+                                                : &StoreStats::evictions_out);
       } else {
-        ++stats_.evictions_out;
+        if (move_failed) {
+          ++stats_.fault_evictions;
+        } else {
+          ++stats_.evictions_out;
+        }
+        DropRecord(*victim);
       }
-      records_.erase(*victim);
-      JournalErase(*victim);
     }
   }
   return true;
@@ -882,8 +1228,7 @@ Status AttentionStore::PutImpl(SessionId session, std::uint64_t bytes, std::uint
   std::uint64_t insert_seq = next_insert_seq_;
   if (existed) {
     insert_seq = it->second.insert_seq;
-    (void)MoveRecord(it->second, Tier::kNone);
-    records_.erase(it);
+    DropRecord(session);  // also unrefs shared chunks if the old record had any
   } else {
     ++next_insert_seq_;
   }
@@ -953,6 +1298,189 @@ Status AttentionStore::PutImpl(SessionId session, std::uint64_t bytes, std::uint
                                       " fits in no tier");
 }
 
+Result<AttentionStore::Placement> AttentionStore::PlacePayload(std::uint64_t bytes,
+                                                               PayloadSource& source,
+                                                               SessionId exclude, SimTime now,
+                                                               const SchedulerHints& hints) {
+  const std::uint64_t block_bytes = RoundToBlocks(bytes);
+  std::optional<Status> failure;
+  for (const Tier tier : EnabledTiers()) {
+    // Same re-check discipline as PutImpl: making room can quarantine the
+    // very tier this iteration picked.
+    if (!TierEnabled(tier)) {
+      continue;
+    }
+    if (!EnsureRoom(tier, block_bytes, exclude, now, hints)) {
+      continue;
+    }
+    if (!TierEnabled(tier)) {
+      continue;
+    }
+    auto receipt = WriteWithRetry(*Storage(tier), source, tier);
+    if (!receipt.ok()) {
+      ++stats_.failed_puts;
+      failure = receipt.status();
+      continue;
+    }
+    return Placement{.tier = tier,
+                     .extent = std::move(receipt->extent),
+                     .checksum = receipt->checksum};
+  }
+  return failure.has_value() ? *failure : ResourceExhaustedError("payload fits in no tier");
+}
+
+Status AttentionStore::PutShared(SessionId session, std::span<const std::uint32_t> tokens,
+                                 ChunkedPayloadSource& payload, SimTime now,
+                                 const SchedulerHints& hints,
+                                 std::span<const std::uint8_t> user_meta) {
+  CA_CHECK(config_.share_prefixes) << "PutShared on a store without share_prefixes";
+  CA_CHECK(config_.real_payloads) << "PutShared on capacity-only store";
+  CA_CHECK(!IsChunkId(session)) << "session ids must not carry the chunk bit";
+  CA_CHECK(!tokens.empty()) << "PutShared requires a non-empty token history";
+  CA_CHECK_EQ(tokens.size(), payload.total_tokens())
+      << "token history disagrees with the payload's token count";
+  const std::uint64_t bpt = payload.bytes_per_token();
+  CA_CHECK_GT(bpt, 0ULL);
+  CA_TRACE_SPAN("store.put_shared", "session", session, "tokens", tokens.size());
+
+  const std::uint64_t total_tokens = tokens.size();
+  const std::uint64_t chunk_tokens = std::max<std::uint32_t>(config_.share_chunk_tokens, 1);
+  // Tail-nonempty rule: the session's own record always keeps >= 1 token,
+  // so every record has bytes > 0 and a real extent (store invariant).
+  std::uint64_t n_full = total_tokens / chunk_tokens;
+  if (n_full > 0 && total_tokens % chunk_tokens == 0) {
+    --n_full;
+  }
+
+  // Snapshot the pre-existing record's identity up-front: chunk-placement
+  // evictions below could in principle touch it (it is exclude-protected,
+  // but the insert_seq must survive the explicit release either way).
+  const auto old_it = records_.find(session);
+  const bool existed = old_it != records_.end();
+  const std::uint64_t insert_seq = existed ? old_it->second.insert_seq : next_insert_seq_++;
+
+  // Walk the chunk chain: match-or-create. Each matched/created chunk is
+  // refcounted AND pinned immediately, so room-making for later chunks can
+  // neither free a fresh chunk (no referrer table exists yet) nor evict a
+  // matched one.
+  std::vector<SessionId> new_refs;
+  new_refs.reserve(n_full);
+  SessionId parent = kInvalidSession;
+  std::uint64_t parent_key = kChainSeed;
+  std::uint64_t tail_begin = 0;
+  for (std::uint64_t c = 0; c < n_full; ++c) {
+    const std::span<const std::uint32_t> span = tokens.subspan(c * chunk_tokens, chunk_tokens);
+    const std::uint64_t key = ChainKey(parent_key, span);
+    ++stats_.prefix_lookups;
+    SessionId chunk_id = kInvalidSession;
+    if (const auto idx = prefix_index_.find(key); idx != prefix_index_.end()) {
+      for (const SessionId cand : idx->second) {
+        const SharedChunk& cc = chunks_.at(cand);
+        if (cc.parent == parent && cc.tokens.size() == span.size() &&
+            std::equal(cc.tokens.begin(), cc.tokens.end(), span.begin())) {
+          chunk_id = cand;
+          break;
+        }
+      }
+    }
+    if (chunk_id != kInvalidSession) {
+      ++stats_.prefix_hits;
+      stats_.shared_bytes_saved += chunk_tokens * bpt;
+    } else {
+      PayloadSource& source = payload.Range(c * chunk_tokens, (c + 1) * chunk_tokens);
+      auto placed = PlacePayload(chunk_tokens * bpt, source, session, now, hints);
+      if (!placed.ok()) {
+        // The chunk fits nowhere: fold the rest of the prefix into the
+        // session's private tail and stop deduplicating here.
+        break;
+      }
+      chunk_id = kChunkSessionBit | next_chunk_id_++;
+      KvRecord record{.session = chunk_id,
+                      .tier = placed->tier,
+                      .bytes = chunk_tokens * bpt,
+                      .block_bytes = RoundToBlocks(chunk_tokens * bpt),
+                      .token_count = chunk_tokens,
+                      .last_access = now,
+                      .insert_seq = next_insert_seq_++,
+                      .extent = std::move(placed->extent),
+                      .checksum = placed->checksum,
+                      .user_meta = EncodeChunkMeta(key, parent, span)};
+      used_bytes_[static_cast<std::size_t>(placed->tier)] += record.block_bytes;
+      const auto [rit, inserted] = records_.emplace(chunk_id, std::move(record));
+      CA_CHECK(inserted);
+      JournalUpsert(rit->second, rit->second.user_meta, /*keep_existing_user_meta=*/false);
+      chunks_.emplace(chunk_id, SharedChunk{key, parent, {span.begin(), span.end()}, 0});
+      prefix_index_[key].push_back(chunk_id);
+      ++stats_.chunks_created;
+    }
+    RefChunk(chunk_id);
+    pinned_chunks_.push_back(chunk_id);
+    new_refs.push_back(chunk_id);
+    parent = chunk_id;
+    parent_key = key;
+    tail_begin = (c + 1) * chunk_tokens;
+  }
+
+  // Release the old record now (decrefs its old table); its former chunks
+  // that this save re-matched stay alive through the references taken above.
+  if (existed) {
+    DropRecord(session);
+  }
+
+  // Private tail: the divergent remainder (plus any chunks that found no
+  // room). Always >= 1 token by the tail-nonempty rule.
+  const std::uint64_t tail_bytes = (total_tokens - tail_begin) * bpt;
+  PayloadSource& tail_source = payload.Range(tail_begin, total_tokens);
+  auto placed = PlacePayload(tail_bytes, tail_source, session, now, hints);
+  if (!placed.ok()) {
+    // Nothing to keep: un-reference (and thereby free any freshly created)
+    // chunks, and make the journal agree the session is gone.
+    pinned_chunks_.clear();
+    for (const SessionId ref : new_refs) {
+      UnrefChunk(ref);
+    }
+    if (existed) {
+      JournalErase(session);
+    }
+    ++stats_.failed_puts;
+    PurgeQuarantined();
+    MaybeAudit();
+    return placed.status();
+  }
+  KvRecord record{.session = session,
+                  .tier = placed->tier,
+                  .bytes = tail_bytes,
+                  .block_bytes = RoundToBlocks(tail_bytes),
+                  .token_count = total_tokens,
+                  .last_access = now,
+                  .insert_seq = insert_seq,
+                  .extent = std::move(placed->extent),
+                  .checksum = placed->checksum,
+                  .user_meta = {user_meta.begin(), user_meta.end()},
+                  .shared_format = true,
+                  .chunk_refs = std::move(new_refs)};
+  used_bytes_[static_cast<std::size_t>(placed->tier)] += record.block_bytes;
+  const auto [rit, inserted] = records_.emplace(session, std::move(record));
+  CA_CHECK(inserted);
+  JournalUpsert(rit->second, user_meta, /*keep_existing_user_meta=*/false);
+  if (existed) {
+    ++stats_.updates;
+  } else {
+    ++stats_.inserts;
+  }
+  ++stats_.shared_puts;
+  pinned_chunks_.clear();
+  PurgeQuarantined();
+  MaybeAudit();
+  return Status::Ok();
+}
+
+Status AttentionStore::ReadPieceInto(const KvRecord& record, std::span<std::uint8_t> out) {
+  BlockStorage* storage = Storage(record.tier);
+  CA_CHECK(storage != nullptr);
+  return ReadVerifiedInto(*storage, record, record.tier, out);
+}
+
 Result<std::vector<std::uint8_t>> AttentionStore::ReadPayload(SessionId session) {
   CA_CHECK(config_.real_payloads) << "ReadPayload on capacity-only store";
   CA_TRACE_SPAN("store.read_payload", "session", session);
@@ -961,8 +1489,6 @@ Result<std::vector<std::uint8_t>> AttentionStore::ReadPayload(SessionId session)
     return NotFoundError("session " + std::to_string(session));
   }
   KvRecord& r = it->second;
-  BlockStorage* storage = Storage(r.tier);
-  CA_CHECK(storage != nullptr);
   // Collect via the streaming read path with reserve + insert instead of a
   // value-initialized vector: resize() would memset the whole payload (a
   // full extra memory pass per MiB-scale read) before the copy overwrites
@@ -976,6 +1502,22 @@ Result<std::vector<std::uint8_t>> AttentionStore::ReadPayload(SessionId session)
     }
   };
   VectorSink sink;
+  if (!r.chunk_refs.empty()) {
+    // Shared record: delegate to the piece-wise path (it owns the failure
+    // semantics — a permanent chunk failure cascades to every referrer).
+    std::uint64_t total = r.bytes;
+    for (const SessionId ref : r.chunk_refs) {
+      total += records_.at(ref).bytes;
+    }
+    sink.data.reserve(total);
+    const Status read = ReadPayloadInto(session, sink);
+    if (read.ok()) {
+      return std::move(sink.data);
+    }
+    return read;
+  }
+  BlockStorage* storage = Storage(r.tier);
+  CA_CHECK(storage != nullptr);
   sink.data.reserve(r.bytes);
   const Status read = ReadVerifiedStream(*storage, r, r.tier, sink);
   if (read.ok()) {
@@ -985,9 +1527,7 @@ Result<std::vector<std::uint8_t>> AttentionStore::ReadPayload(SessionId session)
   if (read.code() != StatusCode::kUnavailable) {
     // Permanent failure or corruption: the payload is untrustworthy. Drop
     // the record so this miss is consistent on every subsequent lookup.
-    (void)MoveRecord(r, Tier::kNone);
-    records_.erase(it);
-    JournalErase(session);
+    DropRecord(session);
     ++stats_.fault_evictions;
   }
   PurgeQuarantined();
@@ -1003,6 +1543,54 @@ Status AttentionStore::ReadPayloadInto(SessionId session, PayloadSink& sink) {
     return NotFoundError("session " + std::to_string(session));
   }
   KvRecord& r = it->second;
+  if (!r.chunk_refs.empty()) {
+    // Shared record: the logical payload is the concatenation of its chunk
+    // payloads followed by the private tail. Each piece is read and
+    // verified against its OWN checksum into a staging buffer before the
+    // sink sees it (ReadVerifiedStream's retry semantics would Reset the
+    // outer sink mid-stream, and a later piece's corruption must not leak
+    // earlier pieces' bytes as "complete").
+    sink.Reset();
+    std::vector<std::uint8_t> staging;
+    const auto read_piece = [&](const KvRecord& piece) {
+      if (staging.size() < piece.bytes) {
+        staging.resize(piece.bytes);
+      }
+      return ReadPieceInto(piece, std::span<std::uint8_t>(staging.data(), piece.bytes));
+    };
+    // Iterate over a copy of the table: the failure paths mutate records_.
+    const std::vector<SessionId> refs = r.chunk_refs;
+    for (const SessionId ref : refs) {
+      KvRecord& chunk = records_.at(ref);
+      const Status piece = read_piece(chunk);
+      if (!piece.ok()) {
+        ++stats_.failed_reads;
+        if (piece.code() != StatusCode::kUnavailable) {
+          // The shared block is untrustworthy: every referencing session
+          // must miss consistently from now on, not just this one.
+          DropChunkReferrers(ref, &StoreStats::fault_evictions);
+        }
+        PurgeQuarantined();
+        MaybeAudit();
+        return piece;
+      }
+      chunk.last_access = r.last_access;
+      sink.Consume(std::span<const std::uint8_t>(staging.data(), chunk.bytes));
+    }
+    const Status tail = read_piece(r);
+    if (!tail.ok()) {
+      ++stats_.failed_reads;
+      if (tail.code() != StatusCode::kUnavailable) {
+        DropRecord(session);
+        ++stats_.fault_evictions;
+      }
+      PurgeQuarantined();
+      MaybeAudit();
+      return tail;
+    }
+    sink.Consume(std::span<const std::uint8_t>(staging.data(), r.bytes));
+    return Status::Ok();
+  }
   BlockStorage* storage = Storage(r.tier);
   CA_CHECK(storage != nullptr);
   const Status read = ReadVerifiedStream(*storage, r, r.tier, sink);
@@ -1013,9 +1601,7 @@ Status AttentionStore::ReadPayloadInto(SessionId session, PayloadSink& sink) {
   if (read.code() != StatusCode::kUnavailable) {
     // Same drop-on-permanent-failure semantics as ReadPayload; the caller
     // additionally discards whatever the sink consumed before the verdict.
-    (void)MoveRecord(r, Tier::kNone);
-    records_.erase(it);
-    JournalErase(session);
+    DropRecord(session);
     ++stats_.fault_evictions;
   }
   PurgeQuarantined();
@@ -1042,12 +1628,22 @@ Result<ExportedRecord> AttentionStore::ExportRecord(SessionId session) {
   const KvRecord& r = records_.at(session);
   ExportedRecord out;
   out.session = session;
-  out.bytes = r.bytes;
   out.token_count = r.token_count;
-  out.checksum = r.checksum;
   out.last_access = r.last_access;
-  out.payload = std::move(payload);
   out.user_meta = r.user_meta;
+  out.shared_format = r.shared_format;
+  if (!r.chunk_refs.empty()) {
+    // Shared record: the snapshot is the materialized full payload (chunks
+    // + tail), self-contained by design — the importing store knows nothing
+    // of this store's chunk registry. The per-record checksum covers only
+    // the tail, so stamp a fresh one over the assembled bytes.
+    out.bytes = payload.size();
+    out.checksum = config_.verify_checksums ? Checksum64(payload) : 0;
+  } else {
+    out.bytes = r.bytes;
+    out.checksum = r.checksum;
+  }
+  out.payload = std::move(payload);
   ++stats_.exports;
   return out;
 }
@@ -1084,6 +1680,16 @@ Status AttentionStore::ImportRecord(const ExportedRecord& record, SimTime now,
                      record.user_meta);
   }
   if (placed.ok()) {
+    if (record.shared_format) {
+      // The imported record is private (no chunk table survives transport)
+      // but its payload is token-major; preserve the flag so the engine's
+      // load path parses it with the right deserializer. Re-journal so the
+      // durable mirror agrees.
+      KvRecord& r = records_.at(record.session);
+      r.shared_format = true;
+      JournalUpsert(r, {}, /*keep_existing_user_meta=*/true);
+      MaybeAudit();
+    }
     ++stats_.imports;
   }
   return placed;
@@ -1113,8 +1719,7 @@ Status AttentionStore::Promote(SessionId session, SimTime now, const SchedulerHi
   if (!moved.ok()) {
     ++stats_.failed_moves;
     if (r.tier == Tier::kNone) {  // source payload unrecoverable: record released
-      records_.erase(it);
-      JournalErase(session);
+      DropRecord(session);
       ++stats_.fault_evictions;
     }
     PurgeQuarantined();
@@ -1149,8 +1754,7 @@ Status AttentionStore::Demote(SessionId session, SimTime now, const SchedulerHin
   if (!moved.ok()) {
     ++stats_.failed_moves;
     if (r.tier == Tier::kNone) {  // source payload unrecoverable: record released
-      records_.erase(it);
-      JournalErase(session);
+      DropRecord(session);
       ++stats_.fault_evictions;
     }
     PurgeQuarantined();
@@ -1175,11 +1779,19 @@ std::size_t AttentionStore::MaintainDramBuffer(SimTime now, const SchedulerHints
     if (!victim.has_value()) {
       break;
     }
-    KvRecord& r = records_.at(*victim);
+    const std::uint64_t victim_block_bytes = records_.at(*victim).block_bytes;
     const Tier down = NextSlowerTier(Tier::kDram);
     bool moved_down = false;
     bool move_failed = false;
-    if (down != Tier::kNone && EnsureRoom(down, r.block_bytes, kInvalidSession, now, hints)) {
+    if (down != Tier::kNone && EnsureRoom(down, victim_block_bytes, kInvalidSession, now, hints)) {
+      // Revalidate: room-making below can cascade-drop the victim (shared
+      // chunk eviction drops its referrers).
+      const auto vit = records_.find(*victim);
+      if (vit == records_.end()) {
+        ++demoted;
+        continue;
+      }
+      KvRecord& r = vit->second;
       const Status moved = MoveRecord(r, down);
       if (moved.ok()) {
         moved_down = true;
@@ -1192,25 +1804,32 @@ std::size_t AttentionStore::MaintainDramBuffer(SimTime now, const SchedulerHints
       }
     }
     if (!moved_down) {
-      if (r.tier != Tier::kNone) {  // a DataLoss move already released it
-        (void)MoveRecord(r, Tier::kNone);
-      }
-      if (move_failed) {
-        ++stats_.fault_evictions;
+      if (IsChunkId(*victim)) {
+        DropChunkReferrers(*victim, move_failed ? &StoreStats::fault_evictions
+                                                : &StoreStats::evictions_out);
       } else {
-        ++stats_.evictions_out;
+        if (move_failed) {
+          ++stats_.fault_evictions;
+        } else {
+          ++stats_.evictions_out;
+        }
+        DropRecord(*victim);
       }
-      records_.erase(*victim);
-      JournalErase(*victim);
     }
     ++demoted;
   }
   PurgeQuarantined();
   if (config_.audit && TierEnabled(Tier::kDram)) {
     // §3.3.1 postcondition: the free-space buffer is restored unless DRAM
-    // holds nothing left to demote.
-    CA_CHECK(FreeBytes(Tier::kDram) >= config_.dram_buffer ||
-             SessionsInTier(Tier::kDram).empty())
+    // holds nothing left to demote (session records or shared chunks).
+    bool dram_empty = true;
+    for (const auto& [id, r] : records_) {
+      if (r.tier == Tier::kDram) {
+        dram_empty = false;
+        break;
+      }
+    }
+    CA_CHECK(FreeBytes(Tier::kDram) >= config_.dram_buffer || dram_empty)
         << "DRAM buffer not maintained although demotable records remain";
   }
   MaybeAudit();
@@ -1218,13 +1837,10 @@ std::size_t AttentionStore::MaintainDramBuffer(SimTime now, const SchedulerHints
 }
 
 void AttentionStore::Remove(SessionId session) {
-  const auto it = records_.find(session);
-  if (it == records_.end()) {
+  if (records_.find(session) == records_.end()) {
     return;
   }
-  (void)MoveRecord(it->second, Tier::kNone);
-  records_.erase(it);
-  JournalErase(session);
+  DropRecord(session);
   MaybeAudit();
 }
 
@@ -1232,17 +1848,16 @@ std::size_t AttentionStore::ExpireTtl(SimTime now) {
   if (config_.ttl <= 0) {
     return 0;
   }
+  // Sessions only: a chunk's lifetime is its refcount — it dies with its
+  // last referrer (and Access keeps referenced chunks recency-warm anyway).
   std::vector<SessionId> expired;
   for (const auto& [id, r] : records_) {
-    if (now - r.last_access > config_.ttl) {
+    if (!IsChunkId(id) && now - r.last_access > config_.ttl) {
       expired.push_back(id);
     }
   }
   for (const SessionId id : expired) {
-    KvRecord& r = records_.at(id);
-    (void)MoveRecord(r, Tier::kNone);
-    records_.erase(id);
-    JournalErase(id);
+    DropRecord(id);
   }
   stats_.ttl_expirations += expired.size();
   MaybeAudit();
@@ -1252,7 +1867,7 @@ std::size_t AttentionStore::ExpireTtl(SimTime now) {
 std::vector<SessionId> AttentionStore::SessionsInTier(Tier tier) const {
   std::vector<SessionId> out;
   for (const auto& [id, r] : records_) {
-    if (r.tier == tier) {
+    if (r.tier == tier && !IsChunkId(id)) {
       out.push_back(id);
     }
   }
@@ -1286,6 +1901,13 @@ void AttentionStore::PublishMetrics(MetricsRegistry* registry) const {
   gauge("store_stats.fault_evictions", static_cast<double>(stats_.fault_evictions));
   gauge("store_stats.tiers_quarantined", static_cast<double>(stats_.tiers_quarantined));
   gauge("store_stats.tiers_disabled", static_cast<double>(stats_.tiers_disabled));
+  gauge("store_stats.shared_puts", static_cast<double>(stats_.shared_puts));
+  gauge("store_stats.prefix_lookups", static_cast<double>(stats_.prefix_lookups));
+  gauge("store_stats.prefix_hits", static_cast<double>(stats_.prefix_hits));
+  gauge("store_stats.chunks_created", static_cast<double>(stats_.chunks_created));
+  gauge("store_stats.chunks_freed", static_cast<double>(stats_.chunks_freed));
+  gauge("store_stats.shared_bytes_saved", static_cast<double>(stats_.shared_bytes_saved));
+  gauge("store_stats.access_checkpoints", static_cast<double>(stats_.access_checkpoints));
   reg.GetGauge("store_stats.hits", {{"tier", "HBM"}}).Set(static_cast<double>(stats_.hbm_hits));
   reg.GetGauge("store_stats.hits", {{"tier", "DRAM"}})
       .Set(static_cast<double>(stats_.dram_hits));
@@ -1303,6 +1925,7 @@ void AttentionStore::PublishMetrics(MetricsRegistry* registry) const {
     reg.GetGauge("store.io_read_bytes_per_sec", labels).Set(io.read_bytes_per_sec());
   }
   reg.GetGauge("store.records").Set(static_cast<double>(RecordCount()));
+  reg.GetGauge("store.chunks").Set(static_cast<double>(ChunkCount()));
   if (meta_ != nullptr) {
     const RecoveryStats& rs = recovery_stats_;
     gauge("store_recovery.journal_entries_replayed",

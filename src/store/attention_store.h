@@ -129,15 +129,73 @@ struct StoreConfig {
   // device's fail-after-N block-write schedule (shares meta_fault.crash).
   MetaFaultConfig meta_fault;
   std::uint64_t disk_crash_after_block_writes = 0;
+
+  // --- cross-session prefix sharing (DESIGN.md §17) --------------------
+
+  // When true, PutShared is available: payloads are split at token-chunk
+  // boundaries, deduplicated across sessions through a prefix index of
+  // refcounted shared chunk records, and sessions keep only a block table
+  // plus their private tail. Requires real_payloads.
+  bool share_prefixes = false;
+
+  // Tokens per shared chunk. Smaller chunks dedup finer but cost more
+  // index probes and per-chunk extents.
+  std::uint32_t share_chunk_tokens = 64;
+
+  // Bugfix knob (durable mode): journal a coarse last_access checkpoint
+  // every Nth Access of a record so post-recovery LRU order reflects real
+  // recency instead of being arbitrary. 0 disables access journaling.
+  std::uint32_t access_journal_every_n = 16;
 };
 
 // Public view of one record.
 struct KvRecordInfo {
   SessionId session = kInvalidSession;
   Tier tier = Tier::kNone;
-  std::uint64_t bytes = 0;
-  std::uint64_t token_count = 0;
+  std::uint64_t bytes = 0;        // bytes stored in the session's own record
+  std::uint64_t token_count = 0;  // full logical token count
   SimTime last_access = 0;
+  // Prefix sharing (DESIGN.md §17): true when the record was stored via
+  // PutShared (token-major payload, possibly split across shared chunks).
+  bool shared = false;
+  // Full logical payload size: shared-chunk bytes + the record's own bytes.
+  // Equals `bytes` for private records.
+  std::uint64_t payload_bytes = 0;
+};
+
+// Random-access payload source for PutShared (DESIGN.md §17): the store
+// pulls byte ranges aligned to token boundaries, and — crucially — skips
+// ranges entirely when the prefix index already holds their chunk, so a
+// dedup hit costs an index probe instead of serialization + I/O. Range()
+// returns a cursor valid until the next Range() call; the store may Reset
+// and replay it (write-retry loop).
+class ChunkedPayloadSource {
+ public:
+  virtual ~ChunkedPayloadSource() = default;
+  virtual std::uint64_t total_tokens() const = 0;
+  virtual std::uint64_t bytes_per_token() const = 0;
+  virtual PayloadSource& Range(std::uint64_t token_begin, std::uint64_t token_end) = 0;
+};
+
+// ChunkedPayloadSource over a contiguous token-major buffer (async saves,
+// tests, benches).
+class SpanChunkSource final : public ChunkedPayloadSource {
+ public:
+  SpanChunkSource(std::span<const std::uint8_t> bytes, std::uint64_t bytes_per_token)
+      : bytes_(bytes), bytes_per_token_(bytes_per_token), range_(bytes) {}
+
+  std::uint64_t total_tokens() const override { return bytes_.size() / bytes_per_token_; }
+  std::uint64_t bytes_per_token() const override { return bytes_per_token_; }
+  PayloadSource& Range(std::uint64_t token_begin, std::uint64_t token_end) override {
+    range_ = SpanSource(bytes_.subspan(token_begin * bytes_per_token_,
+                                       (token_end - token_begin) * bytes_per_token_));
+    return range_;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::uint64_t bytes_per_token_ = 0;
+  SpanSource range_;
 };
 
 // A self-contained, transport-ready snapshot of one record for cross-store
@@ -154,6 +212,12 @@ struct ExportedRecord {
   SimTime last_access = 0;
   std::vector<std::uint8_t> payload;    // empty on capacity-only stores
   std::vector<std::uint8_t> user_meta;  // opaque caller blob (serialized token history)
+  // Prefix sharing (DESIGN.md §17): true when the payload is token-major
+  // (stored via PutShared). Export materializes shared records into this
+  // self-contained form (chunks + tail concatenated); import re-creates a
+  // private record but preserves the format flag so the engine's load path
+  // still parses the bytes correctly.
+  bool shared_format = false;
 };
 
 class AttentionStore {
@@ -210,6 +274,28 @@ class AttentionStore {
   // may be consumed multiple times (Reset + replay) by the retry loop.
   Status Put(SessionId session, std::uint64_t token_count, PayloadSource& payload, SimTime now,
              const SchedulerHints& hints, std::span<const std::uint8_t> user_meta = {});
+
+  // Prefix-sharing write path (DESIGN.md §17; requires config.share_prefixes
+  // and real_payloads). `tokens` is the session's full token history (one
+  // entry per payload token, bit-pattern of the engine's TokenId) and
+  // `payload` its token-major KV bytes. The store walks the history in
+  // share_chunk_tokens-sized chunks, matching each against the prefix index
+  // (chain-keyed: a candidate matches only with identical parent chunk and
+  // identical token contents, so a hit proves exact prefix equality):
+  //  * hit  — the session references the existing chunk (refcount++), no
+  //           bytes move;
+  //  * miss — a new shared chunk record is written and indexed. A session
+  //           that diverges mid-chunk simply stops matching there: only its
+  //           divergent chunks are physically written (copy-on-write at
+  //           save granularity).
+  // The remainder past the last full chunk (always ≥ 1 token) is the
+  // session's private tail, stored in its own record together with the
+  // ordered chunk-reference table. Placement/eviction semantics per chunk
+  // match Put; if the tail fits nowhere the session record is dropped
+  // (kResourceExhausted) and freshly created chunks are released.
+  Status PutShared(SessionId session, std::span<const std::uint32_t> tokens,
+                   ChunkedPayloadSource& payload, SimTime now, const SchedulerHints& hints,
+                   std::span<const std::uint8_t> user_meta = {});
 
   // Reads a record's payload (real-payload mode only), verifying its
   // checksum. Any failure is miss-equivalent for the caller: transient
@@ -269,7 +355,10 @@ class AttentionStore {
   std::uint64_t UsedBytes(Tier tier) const;
   std::uint64_t FreeBytes(Tier tier) const;
   std::uint64_t CapacityBytes(Tier tier) const;
-  std::size_t RecordCount() const { return records_.size(); }
+  // Session records only (shared chunk records are store-internal).
+  std::size_t RecordCount() const { return records_.size() - chunks_.size(); }
+  // Shared chunk records currently alive (0 without prefix sharing).
+  std::size_t ChunkCount() const { return chunks_.size(); }
   std::vector<SessionId> SessionsInTier(Tier tier) const;
   TierHealth tier_health(Tier tier) const;
 
@@ -297,7 +386,14 @@ class AttentionStore {
   //  * durable mode: the journal's live table mirrors records_ exactly —
   //    same sessions, and per record the same tier/bytes/token_count/
   //    insert_seq/checksum, with block lists matching for disk residents
-  //    (last_access excluded: Access refreshes are not journaled).
+  //    (last_access excluded: Access refreshes are journaled only as coarse
+  //    checkpoints).
+  //  * prefix sharing (DESIGN.md §17): chunk registry and chunk records are
+  //    1:1; every chunk's refcount is > 0 and equals the number of session
+  //    block tables referencing it (no block freed while referenced, no
+  //    leak once the last referrer is gone); every block-table entry
+  //    resolves to a live chunk; the prefix index holds each chunk exactly
+  //    once under its chain key.
   // Runs automatically after every mutating operation when config.audit is
   // set.
   void CheckInvariants() const;
@@ -315,9 +411,9 @@ class AttentionStore {
   struct KvRecord {
     SessionId session = kInvalidSession;
     Tier tier = Tier::kNone;
-    std::uint64_t bytes = 0;         // logical payload bytes
+    std::uint64_t bytes = 0;         // payload bytes in THIS record's extent
     std::uint64_t block_bytes = 0;   // bytes charged against the tier (block-rounded)
-    std::uint64_t token_count = 0;
+    std::uint64_t token_count = 0;   // full logical tokens (chunk tokens for chunk records)
     SimTime last_access = 0;
     std::uint64_t insert_seq = 0;
     BlockExtent extent;              // valid iff real payloads attached
@@ -325,8 +421,29 @@ class AttentionStore {
     // Opaque caller blob, replaced on Put and carried through moves —
     // exactly the journal's keep/replace semantics, so durable stores can
     // cross-check the two and migration exports it without touching the
-    // journal.
+    // journal. For shared chunk records the store itself is the caller: it
+    // holds the encoded chunk descriptor (chain key, parent, tokens).
     std::vector<std::uint8_t> user_meta;
+    // Prefix sharing (DESIGN.md §17): true when stored via PutShared
+    // (token-major payload). The block table: ordered shared-chunk record
+    // ids whose payloads precede this record's own bytes. Journaled with
+    // the record so recovery can rebuild tables and re-derive refcounts.
+    bool shared_format = false;
+    std::vector<SessionId> chunk_refs;
+    // Access-journaling checkpoint counter (durable mode; not persisted).
+    std::uint32_t accesses_since_journal = 0;
+  };
+
+  // Registry entry for one shared chunk record (the record itself lives in
+  // records_ under a synthetic chunk SessionId). refcount is DERIVED state:
+  // it equals the number of session block tables referencing the chunk, is
+  // never journaled, and is recomputed from recovered tables on Open — so
+  // recovery can neither double-free nor leak a shared chunk.
+  struct SharedChunk {
+    std::uint64_t key = 0;                // chain key (bucket in prefix_index_)
+    SessionId parent = kInvalidSession;   // previous chunk in the chain, or none
+    std::vector<std::uint32_t> tokens;    // exact token contents of this chunk
+    std::uint32_t refcount = 0;
   };
 
   struct TierHealthState {
@@ -434,13 +551,81 @@ class AttentionStore {
 
   void EraseRecord(SessionId session);
 
+  // --- prefix sharing internals (DESIGN.md §17) ------------------------
+
+  // Synthetic SessionId namespace for shared chunk records. Real sessions
+  // never carry this bit (PutShared rejects them), so chunk records hide in
+  // records_ without colliding and reuse placement/moves/journaling/
+  // recovery unchanged.
+  static constexpr SessionId kChunkSessionBit = SessionId{1} << 63;
+  static bool IsChunkId(SessionId session) {
+    return session != kInvalidSession && (session & kChunkSessionBit) != 0;
+  }
+
+  // refcount++ on a chunk; the inverse frees the chunk record the moment
+  // the last referencing table goes away (stats_.chunks_freed).
+  void RefChunk(SessionId chunk_id);
+  void UnrefChunk(SessionId chunk_id);
+
+  // Central release path for a session record: frees its extent, erases it
+  // from records_ (+ journal), then drops its block-table references —
+  // which may free now-unreferenced chunks. ALL session-record removals
+  // funnel through here so a refcount can never be leaked.
+  void DropRecord(SessionId session);
+
+  // Evicting a shared chunk out of the system: every referencing session
+  // becomes a consistent miss (dropped via DropRecord), which drives the
+  // chunk's refcount to zero and frees it. Counts one eviction per dropped
+  // referrer against `reason` (evictions_out or fault_evictions).
+  void DropChunkReferrers(SessionId chunk_id, std::uint64_t StoreStats::* reason);
+
+  // Places `bytes` of `source` into the fastest enabled tier that can make
+  // room (the shared placement loop of PutImpl/PutShared). On success the
+  // receipt's extent/checksum and the chosen tier are returned.
+  struct Placement {
+    Tier tier = Tier::kNone;
+    BlockExtent extent;
+    std::uint64_t checksum = 0;
+  };
+  Result<Placement> PlacePayload(std::uint64_t bytes, PayloadSource& source, SessionId exclude,
+                                 SimTime now, const SchedulerHints& hints);
+
+  // Reads one piece (a chunk record or the session's own tail) into `out`.
+  // Wrapper over ReadVerifiedInto that resolves the record's storage.
+  Status ReadPieceInto(const KvRecord& record, std::span<std::uint8_t> out);
+
+  // Durable mode: journal a coarse last_access checkpoint every
+  // config.access_journal_every_n accesses of a record (S1 bugfix — LRU
+  // order would otherwise be arbitrary after recovery).
+  void JournalAccessMaybe(KvRecord& record);
+
+  // Post-replay pass of RecoverFromJournal: rebuilds the chunk registry and
+  // prefix index from recovered chunk records, validates every session's
+  // block table (a missing chunk drops the session as a clean miss),
+  // re-derives refcounts from the surviving tables, and frees orphaned
+  // zero-ref chunks.
+  void RecoverSharedState();
+
   // Runs CheckInvariants() iff config_.audit is set; called on every
   // mutating-operation exit path.
   void MaybeAudit() const;
 
   StoreConfig config_;
   std::unique_ptr<EvictionPolicy> policy_;
+  // Session records plus (with prefix sharing) hidden chunk records keyed
+  // by their synthetic chunk ids.
   std::unordered_map<SessionId, KvRecord> records_;
+  // Prefix sharing (DESIGN.md §17): chunk registry and the prefix index
+  // (chain key -> candidate chunk ids; matches verified by parent identity
+  // + token equality, so hash collisions cannot alias prefixes).
+  std::unordered_map<SessionId, SharedChunk> chunks_;
+  std::unordered_map<std::uint64_t, std::vector<SessionId>> prefix_index_;
+  std::uint64_t next_chunk_id_ = 0;
+  // Chunks referenced by an in-flight PutShared before the session's own
+  // record exists; PickVictim must not offer them (their refcount can not
+  // reach zero through referrer drops, so evicting one would stall
+  // EnsureRoom).
+  std::vector<SessionId> pinned_chunks_;
   std::array<std::uint64_t, kNumTiers> used_bytes_ = {0, 0, 0};
   std::array<std::unique_ptr<BlockStorage>, kNumTiers> storages_;  // null w/o payloads
   std::array<TierHealthState, kNumTiers> tier_health_ = {};

@@ -25,7 +25,9 @@ namespace {
 constexpr std::uint64_t kSuperblockBytes = 64;
 constexpr std::uint64_t kSuperblockPayloadBytes = 24;
 constexpr std::uint32_t kJournalMagic = 0x4A4D4143;  // "CAMJ"
-constexpr std::uint32_t kJournalVersion = 1;
+// v2: upsert bodies carry shared_format + the block table (chunk_refs), and
+// the access-checkpoint entry kind exists (S1/DESIGN.md §17).
+constexpr std::uint32_t kJournalVersion = 2;
 
 // Entry frame: [u32 body_len][u64 Fnv1a64(body)][body].
 constexpr std::uint64_t kFrameHeaderBytes = 12;
@@ -35,6 +37,9 @@ constexpr std::uint64_t kMaxEntryBytes = 256ULL * 1024 * 1024;
 
 constexpr std::uint8_t kEntryUpsert = 1;
 constexpr std::uint8_t kEntryErase = 2;
+// Coarse last_access checkpoint: [u64 session][i64 last_access]. Purely a
+// recency refresh — never creates or resurrects a record.
+constexpr std::uint8_t kEntryAccess = 3;
 
 class ByteWriter {
  public:
@@ -111,6 +116,11 @@ void EncodeUpsert(const MetaRecord& rec, ByteWriter& w) {
   }
   w.U32(static_cast<std::uint32_t>(rec.user_meta.size()));
   w.Bytes(rec.user_meta);
+  w.U8(rec.shared_format ? 1 : 0);
+  w.U32(static_cast<std::uint32_t>(rec.chunk_refs.size()));
+  for (const SessionId ref : rec.chunk_refs) {
+    w.U64(ref);
+  }
 }
 
 // Decodes an upsert body after its type byte; false on any malformation.
@@ -135,6 +145,17 @@ bool DecodeUpsert(ByteReader& r, MetaRecord& rec) {
   const std::uint32_t meta_len = r.U32();
   if (!r.ok() || !r.Bytes(meta_len, rec.user_meta)) {
     return false;
+  }
+  const std::uint8_t shared = r.U8();
+  const std::uint32_t n_refs = r.U32();
+  if (!r.ok() || shared > 1) {
+    return false;
+  }
+  rec.shared_format = shared != 0;
+  rec.chunk_refs.clear();
+  rec.chunk_refs.reserve(n_refs);
+  for (std::uint32_t i = 0; i < n_refs; ++i) {
+    rec.chunk_refs.push_back(r.U64());
   }
   return r.AtEnd();
 }
@@ -317,6 +338,19 @@ Status MetaStore::Replay() {
         break;
       }
       ApplyErase(session, owner);
+    } else if (type == kEntryAccess) {
+      const SessionId session = r.U64();
+      const std::int64_t last_access = r.I64();
+      if (!r.ok() || !r.AtEnd()) {
+        torn = true;
+        break;
+      }
+      // Recency refresh only: a checkpoint for a session that was since
+      // erased (or never upserted) is simply stale, not damage.
+      const auto it = live_.find(session);
+      if (it != live_.end()) {
+        it->second.last_access = last_access;
+      }
     } else {
       torn = true;
       break;
@@ -401,6 +435,20 @@ Status MetaStore::Upsert(MetaRecord record) {
   ByteWriter w;
   EncodeUpsert(record, w);
   live_[record.session] = std::move(record);
+  CA_RETURN_IF_ERROR(AppendFrame(w.data()));
+  return MaybeCompact();
+}
+
+Status MetaStore::Access(SessionId session, std::int64_t last_access) {
+  const auto it = live_.find(session);
+  if (it == live_.end()) {
+    return Status::Ok();
+  }
+  it->second.last_access = last_access;
+  ByteWriter w;
+  w.U8(kEntryAccess);
+  w.U64(session);
+  w.I64(last_access);
   CA_RETURN_IF_ERROR(AppendFrame(w.data()));
   return MaybeCompact();
 }

@@ -84,6 +84,12 @@ struct MetaRecord {
   std::uint64_t checksum = 0;
   std::vector<BlockId> blocks;  // disk-tier extent; empty for memory tiers
   std::vector<std::uint8_t> user_meta;
+  // Prefix sharing (DESIGN.md §17): PutShared records carry their ordered
+  // block table (shared-chunk record ids). Refcounts are deliberately NOT
+  // journaled — recovery re-derives them from the surviving tables, so a
+  // replayed journal can neither double-free nor leak a shared chunk.
+  bool shared_format = false;
+  std::vector<SessionId> chunk_refs;
 };
 
 // What recovery did, surfaced through AttentionStore::recovery_stats() and
@@ -138,6 +144,13 @@ class MetaStore {
   // the file tracks what a restart will see.
   Status Upsert(MetaRecord record);
   Status Erase(SessionId session);
+
+  // Coarse last_access checkpoint (S1 bugfix): a small frame that refreshes
+  // only the session's recency, so post-recovery LRU order tracks real
+  // access order instead of the last full upsert. Replay ignores
+  // checkpoints for unknown sessions (an erase may follow the access in
+  // the same journal).
+  Status Access(SessionId session, std::int64_t last_access);
 
   // Rewrites the journal as a snapshot of live(). Called automatically past
   // compact_threshold_bytes; callable explicitly (recovery compacts once so

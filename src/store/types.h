@@ -102,6 +102,21 @@ struct StoreStats {
 
   std::uint64_t io_faults() const { return transient_io_faults + permanent_io_faults; }
 
+  // --- cross-session prefix sharing (DESIGN.md §17) --------------------
+  std::uint64_t shared_puts = 0;        // PutShared calls that placed a record
+  std::uint64_t prefix_lookups = 0;     // chunk-boundary prefix-index probes
+  std::uint64_t prefix_hits = 0;        // probes that matched an existing chunk
+  std::uint64_t chunks_created = 0;     // new shared chunk records written
+  std::uint64_t chunks_freed = 0;       // chunk records freed at refcount zero
+  std::uint64_t shared_bytes_saved = 0; // payload bytes deduplicated (not written)
+  std::uint64_t access_checkpoints = 0; // coarse last_access frames journaled
+
+  double prefix_hit_rate() const {
+    return prefix_lookups == 0
+               ? 0.0
+               : static_cast<double>(prefix_hits) / static_cast<double>(prefix_lookups);
+  }
+
   // --- per-tier I/O throughput (DESIGN.md §14) --------------------------
   // Wall time is accumulated per successful transfer *including* its retry
   // backoffs, so the derived rate is the effective bandwidth the engine

@@ -71,6 +71,29 @@ std::vector<SessionTrace> ShareGptGenerator::Generate(std::size_t n) {
   return out;
 }
 
+std::vector<std::int32_t> SharedPrefixPrompt(std::size_t prefix_tokens, std::size_t vocab,
+                                             std::uint64_t seed) {
+  CA_CHECK(vocab > 0);
+  Rng rng(seed);
+  std::vector<std::int32_t> prompt(prefix_tokens);
+  for (auto& t : prompt) {
+    t = static_cast<std::int32_t>(rng.NextBounded(vocab));
+  }
+  return prompt;
+}
+
+std::size_t ApplySharedPrefix(std::vector<SessionTrace>& sessions, std::uint32_t prefix_tokens) {
+  std::size_t adjusted = 0;
+  for (SessionTrace& s : sessions) {
+    if (s.turns.empty()) {
+      continue;
+    }
+    s.turns.front().q_tokens += prefix_tokens;
+    ++adjusted;
+  }
+  return adjusted;
+}
+
 WorkloadSummary Summarize(const std::vector<SessionTrace>& sessions) {
   WorkloadSummary s;
   s.sessions = sessions.size();

@@ -111,6 +111,21 @@ struct WorkloadSummary {
 
 WorkloadSummary Summarize(const std::vector<SessionTrace>& sessions);
 
+// Shared-prefix population (DESIGN.md §17): fleets of sessions that all open
+// on the same system prompt — the workload where cross-session KV dedup pays
+// off. SharedPrefixPrompt materialises a deterministic common prompt: the
+// same (prefix_tokens, vocab, seed) always yields the same token ids, so
+// every session (and every node of a cluster) opens on a bitwise-identical
+// prefix. Token ids are int32 to match the model layer's TokenId without a
+// dependency on it.
+std::vector<std::int32_t> SharedPrefixPrompt(std::size_t prefix_tokens, std::size_t vocab,
+                                             std::uint64_t seed);
+
+// Folds a common prompt of `prefix_tokens` into each session's first turn so
+// workload summaries and trace CSVs account for the extra prefill. Returns
+// the number of sessions adjusted (sessions without turns are skipped).
+std::size_t ApplySharedPrefix(std::vector<SessionTrace>& sessions, std::uint32_t prefix_tokens);
+
 }  // namespace ca
 
 #endif  // CA_WORKLOAD_SHAREGPT_H_

@@ -79,12 +79,48 @@ TEST(SchedulerAwarePolicyTest, SingleCandidateAlwaysChosen) {
   EXPECT_EQ(*victim, 5U);
 }
 
+TEST(DedupAwarePolicyTest, UnsharedVictimsGoFirst) {
+  DedupAwarePolicy policy;
+  // A shared chunk (2 referrers) is LRU-coldest, but evicting it costs two
+  // sessions a miss; the unshared records must go first, LRU among them.
+  const std::vector<VictimView> cands = {
+      {.session = 10, .last_access = 1, .insert_seq = 0, .bytes = 1, .shared_refs = 2},
+      {.session = 11, .last_access = 30, .insert_seq = 1, .bytes = 1, .shared_refs = 0},
+      {.session = 12, .last_access = 20, .insert_seq = 2, .bytes = 1, .shared_refs = 0},
+  };
+  const auto victim = policy.PickVictim(cands, SchedulerHints{});
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 12U);
+}
+
+TEST(DedupAwarePolicyTest, AmongChunksFewestReferrersGoesFirst) {
+  DedupAwarePolicy policy;
+  // All candidates are shared chunks: eviction cost scales with refcount,
+  // so the 1-referrer chunk loses to nothing else despite being hottest.
+  const std::vector<VictimView> cands = {
+      {.session = 20, .last_access = 1, .insert_seq = 0, .bytes = 1, .shared_refs = 5},
+      {.session = 21, .last_access = 99, .insert_seq = 1, .bytes = 1, .shared_refs = 1},
+      {.session = 22, .last_access = 2, .insert_seq = 2, .bytes = 1, .shared_refs = 3},
+  };
+  const auto victim = policy.PickVictim(cands, SchedulerHints{});
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 21U);
+}
+
+TEST(DedupAwarePolicyTest, EqualRefsFallBackToLru) {
+  DedupAwarePolicy policy;
+  const auto victim = policy.PickVictim(Candidates(), SchedulerHints{});
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 11U);  // all shared_refs 0: plain LRU
+}
+
 TEST(PolicyFactoryTest, MakesAllPolicies) {
   EXPECT_EQ(MakeEvictionPolicy("lru")->name(), "LRU");
   EXPECT_EQ(MakeEvictionPolicy("LRU")->name(), "LRU");
   EXPECT_EQ(MakeEvictionPolicy("fifo")->name(), "FIFO");
   EXPECT_EQ(MakeEvictionPolicy("scheduler-aware")->name(), "scheduler-aware");
   EXPECT_EQ(MakeEvictionPolicy("CA")->name(), "scheduler-aware");
+  EXPECT_EQ(MakeEvictionPolicy("dedup-aware")->name(), "dedup-aware");
 }
 
 TEST(PolicyFactoryDeathTest, UnknownNameAborts) {

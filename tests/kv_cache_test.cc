@@ -324,6 +324,107 @@ TEST(KvCacheZeroCopy, EmptyCacheRoundTripsThroughStreaming) {
   EXPECT_TRUE(restored->empty());
 }
 
+// --- token-major wire form (prefix sharing, DESIGN.md §17) ---------------
+
+TEST(KvCacheTokenMajor, BytesPerTokenMatchesConfig) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kDecoupled);
+  EXPECT_EQ(cache.token_major_bytes_per_token(), KvCache::TokenMajorBytesPerToken(config));
+  EXPECT_EQ(KvCache::TokenMajorBytesPerToken(config),
+            2ULL * config.n_layers * config.kv_dim() * sizeof(float));
+}
+
+TEST(KvCacheTokenMajor, RoundTripAnyChunking) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kDecoupled);
+  FillCache(cache, 11);
+  const auto bytes = cache.SerializeTokenMajor();
+  ASSERT_EQ(bytes.size(), 11 * cache.token_major_bytes_per_token());
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{24},
+                                  std::size_t{1000}, bytes.size()}) {
+    KvCache::TokenMajorDeserializer deserializer(config, PeMode::kDecoupled, 11);
+    for (std::size_t off = 0; off < bytes.size(); off += chunk) {
+      const std::size_t len = std::min(chunk, bytes.size() - off);
+      deserializer.Consume(std::span<const std::uint8_t>(bytes.data() + off, len));
+    }
+    auto restored = deserializer.Finish();
+    ASSERT_TRUE(restored.ok()) << "chunk " << chunk << ": " << restored.status();
+    EXPECT_EQ(restored->seq_len(), 11U);
+    EXPECT_EQ(restored->pe_mode(), PeMode::kDecoupled);
+    // Same tensors as the source, independent of wire layout.
+    EXPECT_EQ(restored->Serialize(), cache.Serialize()) << "chunk " << chunk;
+  }
+}
+
+TEST(KvCacheTokenMajor, RangeSerializersConcatenateToWholePayload) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kDecoupled);
+  FillCache(cache, 10);
+  const auto expected = cache.SerializeTokenMajor();
+  const std::uint64_t bpt = cache.token_major_bytes_per_token();
+  // Split [0,10) into ranges of 3/3/3/1 tokens, pull each through its own
+  // cursor in awkward windows — exactly the store's chunked write pattern.
+  std::vector<std::uint8_t> got;
+  for (const auto [b, e] : {std::pair<std::size_t, std::size_t>{0, 3}, {3, 6}, {6, 9}, {9, 10}}) {
+    KvCache::TokenMajorSerializer serializer(cache, b, e);
+    ASSERT_EQ(serializer.size(), (e - b) * bpt);
+    std::vector<std::uint8_t> piece(serializer.size());
+    for (std::size_t off = 0; off < piece.size(); off += 13) {
+      const std::size_t len = std::min<std::size_t>(13, piece.size() - off);
+      serializer.Fill(std::span<std::uint8_t>(piece.data() + off, len));
+    }
+    // Reset replays (the store's bounded write retry).
+    serializer.Reset();
+    std::vector<std::uint8_t> again(piece.size());
+    serializer.Fill(again);
+    ASSERT_EQ(again, piece);
+    got.insert(got.end(), piece.begin(), piece.end());
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(KvCacheTokenMajor, DeserializerRejectsByteCountMismatch) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kDecoupled);
+  FillCache(cache, 4);
+  const auto bytes = cache.SerializeTokenMajor();
+  {
+    // Short payload.
+    KvCache::TokenMajorDeserializer d(config, PeMode::kDecoupled, 4);
+    d.Consume(std::span<const std::uint8_t>(bytes.data(), bytes.size() - 4));
+    EXPECT_FALSE(d.Finish().ok());
+  }
+  {
+    // Overlong payload: the overshooting chunk is swallowed, not written
+    // past the tensors.
+    KvCache::TokenMajorDeserializer d(config, PeMode::kDecoupled, 4);
+    d.Consume(bytes);
+    d.Consume(std::span<const std::uint8_t>(bytes.data(), 8));
+    EXPECT_FALSE(d.Finish().ok());
+  }
+  {
+    // Reset replays a torn pass cleanly.
+    KvCache::TokenMajorDeserializer d(config, PeMode::kDecoupled, 4);
+    d.Consume(std::span<const std::uint8_t>(bytes.data(), bytes.size() / 2));
+    d.Reset();
+    d.Consume(bytes);
+    auto restored = d.Finish();
+    ASSERT_TRUE(restored.ok()) << restored.status();
+    EXPECT_EQ(restored->Serialize(), cache.Serialize());
+  }
+}
+
+TEST(KvCacheTokenMajor, PreservesPeMode) {
+  const ModelConfig config = ModelConfig::Mini();
+  KvCache cache(config, PeMode::kCoupled);
+  FillCache(cache, 2);
+  KvCache::TokenMajorDeserializer d(config, PeMode::kCoupled, 2);
+  d.Consume(cache.SerializeTokenMajor());
+  auto restored = d.Finish();
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->pe_mode(), PeMode::kCoupled);
+}
+
 TEST(KvCacheDeathTest, WrongRowSizeAborts) {
   KvCache cache(ModelConfig::Mini(), PeMode::kDecoupled);
   const std::vector<float> bad(3, 0.0f);

@@ -147,6 +147,51 @@ TEST(TraceIoTest, MissingFileFails) {
   EXPECT_FALSE(LoadTraceCsv("/nonexistent/path.csv").ok());
 }
 
+TEST(SharedPrefixTest, PromptIsDeterministicAndInVocab) {
+  const auto a = SharedPrefixPrompt(96, 1000, 5);
+  const auto b = SharedPrefixPrompt(96, 1000, 5);
+  const auto c = SharedPrefixPrompt(96, 1000, 6);
+  ASSERT_EQ(a.size(), 96U);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // different seed, different prompt
+  for (const std::int32_t t : a) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 1000);
+  }
+  EXPECT_TRUE(SharedPrefixPrompt(0, 1000, 5).empty());
+}
+
+TEST(SharedPrefixTest, ApplyFoldsPromptIntoFirstTurnOnly) {
+  auto sessions = Sample(50, 21);
+  SessionTrace turnless;
+  turnless.id = 999;
+  sessions.push_back(turnless);  // turn-less session is skipped
+  std::vector<std::uint32_t> before_first;
+  std::vector<std::uint32_t> before_rest;
+  for (const SessionTrace& s : sessions) {
+    if (s.turns.empty()) {
+      continue;
+    }
+    before_first.push_back(s.turns.front().q_tokens);
+    for (std::size_t j = 1; j < s.turns.size(); ++j) {
+      before_rest.push_back(s.turns[j].q_tokens);
+    }
+  }
+  const std::size_t adjusted = ApplySharedPrefix(sessions, 64);
+  EXPECT_EQ(adjusted, 50U);
+  std::size_t fi = 0;
+  std::size_t ri = 0;
+  for (const SessionTrace& s : sessions) {
+    if (s.turns.empty()) {
+      continue;
+    }
+    EXPECT_EQ(s.turns.front().q_tokens, before_first[fi++] + 64);
+    for (std::size_t j = 1; j < s.turns.size(); ++j) {
+      EXPECT_EQ(s.turns[j].q_tokens, before_rest[ri++]);
+    }
+  }
+}
+
 // Parameterised sweep: marginals stay in band across seeds (the generator
 // must not be calibrated to one lucky seed).
 class WorkloadSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
